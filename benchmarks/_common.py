@@ -1,0 +1,29 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table or figure from the paper's
+evaluation section: it runs the experiment once under ``pytest-benchmark``
+(timing the full pipeline), prints the same rows/series the paper reports,
+and writes them to ``benchmarks/results/`` for inspection.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Iteration count used by the experiment drivers.  Large enough for the
+#: configuration cost to amortize, small enough for a quick benchmark run.
+ITERATIONS = 384
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered result and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

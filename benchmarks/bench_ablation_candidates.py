@@ -1,0 +1,102 @@
+"""Ablation: candidate-window strategy for Algorithm 1.
+
+The paper constrains the hardware candidate matrix to a fixed 4x8 window
+"due to constraints" (§3.3).  This ablation quantifies the trade: the
+unconstrained full-grid search evaluates an order of magnitude more
+candidates (comparator area/time in hardware) for only a marginal mapping-
+quality gain, while the enclosing-rectangle form (Eq. 3) sits in between.
+"""
+
+from repro.accel import M_128, build_interconnect
+from repro.core import CandidateStrategy, InstructionMapper, MappingOptions, build_ldfg
+from repro.harness import render_table
+from repro.workloads import build_kernel
+
+from _common import emit, run_once
+
+
+def _map_with(strategy: CandidateStrategy, kernel_name: str):
+    kernel = build_kernel(kernel_name, iterations=64)
+    body = [i for i in kernel.program
+            if i.address >= kernel.program.labels.get("loop", 0)]
+    ldfg = build_ldfg(body)
+    mapper = InstructionMapper(M_128,
+                               options=MappingOptions(strategy=strategy))
+    sdfg = mapper.map(ldfg)
+    return sdfg.predicted_latency, mapper.stats.candidates_evaluated
+
+
+def run_ablation():
+    rows = []
+    for kernel_name in ("lavamd", "hotspot", "cfd"):
+        for strategy in CandidateStrategy:
+            latency, evaluated = _map_with(strategy, kernel_name)
+            rows.append([kernel_name, strategy.value, latency, evaluated])
+    return rows
+
+
+def test_candidate_window_ablation(benchmark):
+    rows = run_once(benchmark, run_ablation)
+    emit("ablation_candidates", render_table(
+        ["kernel", "strategy", "predicted latency", "candidates evaluated"],
+        rows, title="Ablation: candidate-matrix strategy"))
+
+    by_key = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    for kernel_name in ("lavamd", "hotspot", "cfd"):
+        fixed_lat, fixed_eval = by_key[(kernel_name, "fixed_window")]
+        full_lat, full_eval = by_key[(kernel_name, "full_grid")]
+        # The unconstrained search burns far more comparisons...
+        assert full_eval > 2 * fixed_eval
+        # ...for at most a marginal latency improvement.
+        assert fixed_lat <= full_lat * 1.5, (
+            f"{kernel_name}: the 4x8 window should stay near the "
+            f"unconstrained mapping quality")
+
+
+def _map_with_window(window, kernel_name: str):
+    from repro.core import MappingOptions
+
+    kernel = build_kernel(kernel_name, iterations=64)
+    body = [i for i in kernel.program
+            if i.address >= kernel.program.labels.get("loop", 0)]
+    ldfg = build_ldfg(body)
+    mapper = InstructionMapper(M_128, options=MappingOptions(window=window))
+    sdfg = mapper.map(ldfg)
+    return sdfg.predicted_latency, mapper.stats.candidates_evaluated
+
+
+def test_window_size_sweep(benchmark):
+    """Sweep the fixed window's dimensions: larger windows trade comparator
+    count (hardware) for mapping quality; 4x8 is the paper's sweet spot."""
+    windows = [(2, 2), (2, 4), (4, 4), (4, 8), (8, 8)]
+
+    def sweep():
+        rows = []
+        for window in windows:
+            for kernel_name in ("lavamd", "cfd"):
+                latency, evaluated = _map_with_window(window, kernel_name)
+                rows.append([f"{window[0]}x{window[1]}", kernel_name,
+                             latency, evaluated])
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    emit("ablation_window_size", render_table(
+        ["window", "kernel", "predicted latency", "candidates evaluated"],
+        rows, title="Ablation: fixed-window dimensions"))
+
+    by_key = {(r[0], r[1]): (r[2], r[3]) for r in rows}
+    for kernel_name in ("lavamd", "cfd"):
+        latencies = [by_key[(f"{r}x{c}", kernel_name)][0]
+                     for r, c in windows]
+        # Mapping quality is insensitive to the window across this whole
+        # range (the greedy latency objective converges locally)...
+        assert max(latencies) <= min(latencies) * 1.15, kernel_name
+        # ...so the comparator count is the real cost axis: 4x8 stays well
+        # below 8x8, and tiny windows pay instead through full-grid
+        # fallback scans (2x2 evaluates more than 4x4!).
+        _, eval_2x2 = by_key[("2x2", kernel_name)]
+        _, eval_4x4 = by_key[("4x4", kernel_name)]
+        _, eval_4x8 = by_key[("4x8", kernel_name)]
+        _, eval_8x8 = by_key[("8x8", kernel_name)]
+        assert eval_4x8 <= eval_8x8
+        assert eval_2x2 > eval_4x4, "fallbacks dominate tiny windows"

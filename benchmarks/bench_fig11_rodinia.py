@@ -1,0 +1,44 @@
+"""Fig. 11: performance and energy efficiency vs the 16-core CPU baseline.
+
+Paper: "MESA achieves 1.33x and 1.81x performance gains across all
+benchmarks for the two configurations [M-128, M-512] ... this average is
+held back by memory or control-heavy benchmarks like BFS ... In terms of
+energy efficiency, M-128 and M-512 averaged 1.86x and 1.92x improvement."
+
+Shape checks: MESA wins on average in both metrics; the compute-parallel
+kernels (nn, kmeans, gaussian) win clearly; the kernels that do not qualify
+(srad, btree) lose to the scaling multicore and drag the mean down; M-512
+performs at least as well as M-128 on average but similarly on many kernels
+(the paper: "PEs in M-512 are underutilized yielding a result similar to
+the smaller configuration").
+"""
+
+from repro.harness import fig11_rodinia
+
+from _common import ITERATIONS, emit, run_once
+
+
+def test_fig11_speedup_and_efficiency(benchmark):
+    result = run_once(benchmark, lambda: fig11_rodinia(iterations=ITERATIONS))
+    emit("fig11_rodinia", result.render())
+
+    rows = {r["kernel"]: r for r in result.rows}
+
+    # Headline: MESA beats the multicore on average, in perf and energy.
+    assert result.mean_speedup["m128"] > 1.0
+    assert result.mean_speedup["m512"] >= result.mean_speedup["m128"]
+    assert result.mean_efficiency["m128"] > 1.0
+    assert result.mean_efficiency["m512"] > 1.0
+
+    # Compute-parallel kernels are clear wins.
+    for name in ("nn", "kmeans", "gaussian"):
+        assert rows[name]["speedup_m128"] > 1.0, name
+
+    # Non-qualifying control kernels lose to the scaling multicore and hold
+    # the average back (the paper's BFS observation, strongest form).
+    for name in ("srad", "btree"):
+        assert not rows[name]["accelerated_m128"]
+        assert rows[name]["speedup_m128"] < 1.0
+
+    # The serial recurrence kernel cannot beat even one strong core by much.
+    assert rows["myocyte"]["speedup_m128"] < 1.5

@@ -1,0 +1,29 @@
+"""Fig. 13: area, power, and energy breakdown by component.
+
+Paper: "these results are averaged from four benchmarks (nn, kmeans,
+hotspot, cfd).  Note that almost 87% of total energy is spent on either
+memory or computation, with a small fraction on the control subsystem.
+This is a desirable result as CPU instructions waste significant energy on
+control overheads."
+"""
+
+from repro.harness import fig13_breakdown
+
+from _common import ITERATIONS, emit, run_once
+
+
+def test_fig13_component_breakdown(benchmark):
+    result = run_once(benchmark,
+                      lambda: fig13_breakdown(iterations=ITERATIONS))
+    emit("fig13_breakdown", result.render())
+
+    # The headline: memory + compute dominate steady-state energy.
+    assert result.memory_plus_compute_energy > 0.7
+
+    # Control is a small fraction of energy (the von Neumann contrast).
+    assert result.energy_fractions["control"] < 0.1
+
+    # Area is PE-array-dominated; power is memory+compute-dominated.
+    assert result.area_fractions["compute"] > 0.4
+    assert (result.power_fractions["compute"]
+            + result.power_fractions["memory"]) > 0.7

@@ -1,0 +1,39 @@
+"""Fig. 15: MESA performance scaling with PE count (nn kernel).
+
+Paper: "The tested kernel (Euclidean distance) is small enough to fit on
+just 16 PEs and we observe near-perfect scaling until memory bottlenecks
+beyond 128 PEs for this spatial accelerator.  'Ideal Memory' assumes a
+scenario with infinite memory ports."
+"""
+
+import pytest
+
+from repro.harness import fig15_pe_scaling
+
+from _common import emit, run_once
+
+
+def test_fig15_pe_scaling(benchmark):
+    result = run_once(benchmark, fig15_pe_scaling)
+    emit("fig15_pe_scaling", result.render())
+
+    by_pes = dict(zip(result.pe_counts, result.default_speedup))
+    ideal_mem = dict(zip(result.pe_counts, result.ideal_memory_speedup))
+
+    # Near-perfect scaling up to 128 PEs (within 20% of ideal).
+    for pes in (32, 64, 128):
+        ideal = pes / result.pe_counts[0]
+        assert by_pes[pes] > 0.8 * ideal, f"{pes} PEs scale poorly"
+
+    # Memory bottleneck beyond 128 PEs: the default curve flattens ...
+    assert by_pes[256] < by_pes[128] * 1.15
+    assert by_pes[512] < by_pes[128] * 1.15
+
+    # ... while ideal memory keeps scaling past it.
+    assert ideal_mem[256] > by_pes[256] * 1.3
+    assert ideal_mem[512] > ideal_mem[256]
+
+    # Monotone non-decreasing overall.
+    for earlier, later in zip(result.default_speedup,
+                              result.default_speedup[1:]):
+        assert later >= earlier * 0.95

@@ -1,0 +1,32 @@
+"""Fig. 16: per-iteration energy amortization of the configuration cost.
+
+Paper: "Initially, the sunk cost of configuration dominates [and]
+drastically raises per-iteration energy, however, [it] amortizes over time
+to around 70 iterations."
+"""
+
+from repro.harness import fig16_amortization
+
+from _common import emit, run_once
+
+
+def test_fig16_energy_amortization(benchmark):
+    result = run_once(benchmark, fig16_amortization)
+    emit("fig16_amortization", result.render())
+
+    series = result.energy_per_iteration_nj
+
+    # Strictly decreasing toward the steady state.
+    for earlier, later in zip(series, series[1:]):
+        assert later < earlier
+
+    # The first iteration pays an order of magnitude over steady state.
+    assert series[0] > 10 * result.steady_state_nj
+
+    # Break-even lands in the paper's 50-100 iteration window.
+    breakeven = result.breakeven_iterations
+    assert breakeven is not None
+    assert 20 <= breakeven <= 150, f"break-even at {breakeven} iterations"
+
+    # The tail approaches steady state closely.
+    assert series[-1] < 1.2 * result.steady_state_nj

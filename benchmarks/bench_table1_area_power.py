@@ -1,0 +1,41 @@
+"""Table 1: hardware area and power breakdown by component.
+
+Regenerates the synthesis-results table for the 128-PE configuration (the
+one the paper prints) and checks its headline invariants: MESA's controller
+stays around half a square millimetre, the per-core additions are
+negligible, and the accelerator totals match the reported 26.56 mm²/11.65 W.
+"""
+
+import pytest
+
+from repro.accel import M_128, M_512, M_64
+from repro.harness import table1_area_power
+
+from _common import emit, run_once
+
+
+def test_table1_m128(benchmark):
+    result = run_once(benchmark, lambda: table1_area_power(M_128))
+    emit("table1_m128", result.render())
+
+    mesa_area, mesa_power = result.lookup("MESA Top")
+    assert mesa_area == pytest.approx(0.502)
+    assert mesa_power == pytest.approx(0.36)
+    accel_area, accel_power = result.lookup("Accelerator Top (M-128)")
+    assert accel_area == pytest.approx(26.56, rel=0.01)
+    assert accel_power == pytest.approx(11.65, rel=0.01)
+
+
+def test_table1_all_configs(benchmark):
+    def build_all():
+        return {cfg.name: table1_area_power(cfg)
+                for cfg in (M_64, M_128, M_512)}
+
+    tables = run_once(benchmark, build_all)
+    emit("table1_all", "\n\n".join(t.render() for t in tables.values()))
+
+    areas = [tables[name].lookup(f"Accelerator Top ({name})")[0]
+             for name in ("M-64", "M-128", "M-512")]
+    assert areas[0] < areas[1] < areas[2]
+    # §6.2 quotes 16.4mm2 for the synthesized M-64.
+    assert areas[0] == pytest.approx(16.4, rel=0.25)

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Design-space exploration: backend size and interconnect choice.
+
+Sweeps the accelerator's PE count and interconnect topology for a chosen
+kernel and prints how speedup, utilization, and mapping quality respond —
+the kind of study MESA's backend-agnostic latency model makes cheap
+(paper §3.3: any interconnect works "as long as point-to-point latency can
+be modeled").
+
+Run:  python examples/design_space.py [kernel]
+"""
+
+import sys
+from dataclasses import replace
+
+from repro.accel import AcceleratorConfig, InterconnectKind
+from repro.core import MesaController
+from repro.harness import render_table
+from repro.workloads import build_kernel
+
+
+def run_config(kernel_name: str, config: AcceleratorConfig):
+    kernel = build_kernel(kernel_name, iterations=256)
+    controller = MesaController(config)
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=kernel.parallelizable)
+    if not result.accelerated:
+        return None
+    return result
+
+
+def main() -> None:
+    kernel_name = sys.argv[1] if len(sys.argv) > 1 else "lavamd"
+    print(f"=== design-space exploration: {kernel_name} ===\n")
+
+    # Sweep 1: PE count (fixed memory system), via the sweep API.
+    from repro.harness import pe_count_configs, sweep_backends
+
+    sweep = sweep_backends([kernel_name],
+                           pe_count_configs((16, 32, 64, 128, 256)),
+                           iterations=256)
+    rows = []
+    for config_name in sweep.configs():
+        point = sweep.point(kernel_name, config_name)
+        if not point.accelerated:
+            rows.append([config_name, "cpu-only", "-", "-", "-"])
+            continue
+        rows.append([
+            config_name,
+            f"{point.speedup:.2f}x",
+            point.tile_factor,
+            f"{point.utilization:.0%}",
+            f"{point.iteration_latency:.1f}",
+        ])
+    print(render_table(["config", "speedup", "tile", "array util",
+                        "iter latency"],
+                       rows, title="PE-count sweep (8 memory ports)"))
+    best = sweep.best_config(kernel_name)
+    print(f"best configuration: {best.config_name} "
+          f"({best.speedup:.2f}x)")
+
+    # Sweep 2: interconnect topology at 128 PEs.
+    print()
+    rows = []
+    for kind in InterconnectKind:
+        config = replace(AcceleratorConfig(rows=16, cols=8, lsu_entries=32,
+                                           memory_ports=8),
+                         interconnect=kind)
+        result = run_config(kernel_name, config)
+        if result is None:
+            continue
+        rows.append([
+            kind.value,
+            f"{result.sdfg.predicted_latency:.1f}",
+            f"{result.runs[0].iteration_latency:.1f}",
+            f"{result.speedup_vs_single_core:.2f}x",
+            len(result.sdfg.fallback_nodes),
+        ])
+    print(render_table(
+        ["interconnect", "predicted iter lat", "measured iter lat",
+         "speedup", "fallbacks"],
+        rows, title="Interconnect sweep (128 PEs)"))
+
+    print("\nReading: speedup saturates once tiling exhausts either the "
+          "PE array or the memory system; the\nmesh+NoC hybrid tracks the "
+          "better of its two parents on every kernel.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Iterative runtime re-optimization (the paper's F3) made visible.
+
+Builds a cache-hostile streaming loop whose memory latency the first
+mapping can only guess, then lets MESA profile it on the fabric, fold the
+measured per-instruction AMAT back into the DFG weights, and re-map.
+Prints the model's node weights before and after refinement and the
+optimizer's round-by-round decisions.
+
+Run:  python examples/iterative_optimization.py
+"""
+
+from repro.accel import M_128, build_interconnect
+from repro.core import (
+    InstructionMapper,
+    IterativeOptimizer,
+    build_ldfg,
+)
+from repro.isa import MachineState, assemble, x
+from repro.mem import Memory, MemoryHierarchy
+
+# Two streams with very different locality: stream A strides over cache
+# lines (misses), stream B re-reads one hot line (hits).  The initial AMAT
+# estimate cannot know which is which.
+LOOP_BODY = assemble("""
+    loop:
+        lw   t1, 0(a0)        # stream A: striding, misses to DRAM
+        lw   t2, 0(a1)        # stream B: one hot line, L1 hits
+        add  t3, t1, t2
+        sw   t3, 0(a2)
+        addi a0, a0, 256      # stride a full set: always cold
+        addi a2, a2, 4
+        addi t0, t0, -1
+        bne  t0, zero, loop
+""")
+
+
+def state_factory() -> MachineState:
+    state = MachineState(pc=LOOP_BODY.base_address)
+    memory = Memory()
+    memory.store_words(0x10000, list(range(8192)))
+    memory.store_words(0x20000, [7] * 16)
+    state.memory = memory
+    state.write(x(10), 0x10000)
+    state.write(x(11), 0x20000)
+    state.write(x(12), 0x30000)
+    state.write(x(5), 64)
+    return state
+
+
+def dump_weights(ldfg, title: str) -> None:
+    print(title)
+    for entry in ldfg.entries:
+        if entry.instruction.is_memory:
+            print(f"  i{entry.node_id} {str(entry.instruction):<18} "
+                  f"weight = {entry.op_latency:5.1f} cycles")
+
+
+def main() -> None:
+    print("=== F3: iterative optimization from runtime counters ===\n")
+    ldfg = build_ldfg(list(LOOP_BODY.instructions), initial_amat=4.0)
+    dump_weights(ldfg, "initial DFG memory weights (blind estimate):")
+
+    interconnect = build_interconnect(M_128)
+    mapper = InstructionMapper(M_128, interconnect)
+    first = mapper.map(ldfg)
+    print(f"\nfirst mapping predicts {first.predicted_latency:.1f} "
+          f"cycles/iteration")
+
+    hierarchy = MemoryHierarchy()
+    optimizer = IterativeOptimizer(M_128, interconnect=interconnect,
+                                   improvement_threshold=0.02)
+    best = optimizer.optimize(ldfg, first, state_factory, hierarchy,
+                              rounds=3, profile_iterations=24)
+
+    print()
+    dump_weights(ldfg, "refined DFG memory weights (measured AMAT):")
+    print("\noptimization rounds:")
+    for event in optimizer.history:
+        action = "remapped" if event.remapped else "kept mapping"
+        print(f"  round {event.round_index}: measured "
+              f"{event.measured_iteration_latency:6.1f} cyc/iter, "
+              f"re-map would predict {event.predicted_after_remap:6.1f} "
+              f"-> {action}")
+
+    refined_model = best.to_dataflow_graph(interconnect)
+    print(f"\nfinal model-predicted iteration latency (refined weights): "
+          f"{refined_model.total_latency():.1f} cycles")
+    miss_weight = ldfg[0].op_latency
+    hit_weight = ldfg[1].op_latency
+    print(f"\nThe model learned the two loads are different: the striding "
+          f"load now weighs {miss_weight:.1f} cycles\nwhile the hot-line "
+          f"load weighs {hit_weight:.1f} — knowledge no ahead-of-time "
+          f"mapping could have had.")
+    assert miss_weight > hit_weight
+
+
+if __name__ == "__main__":
+    main()

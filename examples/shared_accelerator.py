@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Multiple CPU threads sharing one accelerator through one controller.
+
+The paper's first motivation (M1): "pooling together accelerator resources
+as a shared scheduling target" — idle accelerator silicon gets repurposed
+transparently, and a single MESA controller per chip arbitrates it.  This
+example submits four threads (three accelerable, one that disqualifies) and
+prints the shared-fabric timeline under both scheduling policies.
+
+Run:  python examples/shared_accelerator.py
+"""
+
+from repro.accel import M_128
+from repro.core import MesaSystem, SchedulingPolicy, ThreadSpec
+from repro.harness import render_table
+from repro.workloads import build_kernel
+
+
+def make_threads() -> list[ThreadSpec]:
+    threads = []
+    for name in ("nn", "kmeans", "hotspot", "srad"):
+        kernel = build_kernel(name, iterations=192)
+        threads.append(ThreadSpec(
+            name=name,
+            program=kernel.program,
+            state_factory=kernel.state_factory,
+            parallelizable=kernel.parallelizable,
+        ))
+    return threads
+
+
+def show(run, title: str) -> None:
+    rows = []
+    for outcome in run.outcomes:
+        rows.append([
+            outcome.name,
+            outcome.accelerated,
+            "-" if outcome.accel_start is None else f"{outcome.accel_start:.0f}",
+            f"{outcome.wait_cycles:.0f}",
+            f"{outcome.finish:.0f}",
+        ])
+    print(render_table(
+        ["thread", "accelerated", "fabric start", "queued", "finish"],
+        rows, title=title))
+    print(f"makespan: {run.makespan:.0f} cycles "
+          f"(all-CPU: {run.cpu_only_makespan:.0f}) "
+          f"-> {run.speedup:.2f}x\n")
+
+
+def main() -> None:
+    print("=== one accelerator, four threads ===\n")
+    threads = make_threads()
+
+    fifo = MesaSystem(M_128, policy=SchedulingPolicy.FIFO).run(threads)
+    show(fifo, "FIFO arbitration")
+
+    best = MesaSystem(
+        M_128, policy=SchedulingPolicy.BEST_SPEEDUP_FIRST).run(threads)
+    show(best, "Best-expected-speedup-first arbitration")
+
+    print("srad never touches the fabric (its inner loop fails C2), so its "
+          "core runs it\nnormally — transparency means nothing ever breaks, "
+          "some things just get faster.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,215 @@
+"""Configuration bitstream codec.
+
+MESA's configuration block "sequentially writes instructions and routing
+configuration bits to the accelerator" (paper §4.3, Fig. 7 ConfigBlock).
+This module defines that bitstream: a flat sequence of 32-bit words encoding
+every configured node (instruction word, placement, operand routing, and
+predication guard) plus the live-in/live-out register maps.
+
+The codec is exact: ``decode_bitstream(encode_bitstream(p))`` reconstructs an
+equivalent program.  The *length* of the stream is also meaningful — the
+configuration time model charges cycles per word written (Table 2's
+10^3–10^4-cycle configuration latency).
+"""
+
+from __future__ import annotations
+
+from ..isa import Register, RegFile, decode as decode_instruction, encode as encode_instruction
+from .config import AcceleratorConfig
+from .program import (
+    AcceleratorProgram,
+    ConfiguredNode,
+    Guard,
+    Operand,
+    OperandKind,
+)
+
+__all__ = ["BitstreamError", "encode_bitstream", "decode_bitstream"]
+
+_MAGIC = 0x4D455341  # "MESA"
+_VERSION = 1
+
+_KIND_CODES = {
+    OperandKind.NONE: 0,
+    OperandKind.NODE: 1,
+    OperandKind.LOOP_CARRIED: 2,
+    OperandKind.REGISTER: 3,
+}
+_KIND_BY_CODE = {code: kind for kind, code in _KIND_CODES.items()}
+
+_FLAG_MEMORY = 1
+_FLAG_GUARD = 2
+_FLAG_PREFETCH = 4
+_FLAG_VECTOR = 8
+
+
+class BitstreamError(ValueError):
+    """Raised when a bitstream cannot be decoded."""
+
+
+def _encode_register(register: Register | None) -> int:
+    if register is None:
+        return 0
+    file_bit = 1 if register.file is RegFile.FP else 0
+    return 0x40 | (file_bit << 5) | register.index
+
+
+def _decode_register(value: int) -> Register | None:
+    if not value & 0x40:
+        return None
+    file = RegFile.FP if value & 0x20 else RegFile.INT
+    return Register(file, value & 0x1F)
+
+
+def _encode_operand(operand: Operand) -> int:
+    word = _KIND_CODES[operand.kind] << 30
+    if operand.node_id is not None:
+        word |= (operand.node_id & 0xFFFF) << 8
+    word |= _encode_register(operand.register)
+    return word
+
+
+def _decode_operand(word: int) -> Operand:
+    kind = _KIND_BY_CODE.get((word >> 30) & 0x3)
+    if kind is None:  # pragma: no cover - 2-bit field is exhaustive
+        raise BitstreamError(f"bad operand kind in word {word:#x}")
+    node_id = (word >> 8) & 0xFFFF
+    register = _decode_register(word & 0x7F)
+    if kind is OperandKind.NONE:
+        return Operand.none()
+    if kind is OperandKind.NODE:
+        return Operand.node(node_id)
+    if kind is OperandKind.LOOP_CARRIED:
+        if register is None:
+            raise BitstreamError("loop-carried operand missing register")
+        return Operand.loop_carried(node_id, register)
+    if register is None:
+        raise BitstreamError("register operand missing register")
+    return Operand.from_register(register)
+
+
+def encode_bitstream(program: AcceleratorProgram) -> list[int]:
+    """Serialize a configured program to 32-bit configuration words."""
+    words = [
+        _MAGIC,
+        _VERSION,
+        (program.config.rows << 16) | program.config.cols,
+        len(program.nodes),
+        0 if program.loop_branch_id is None else program.loop_branch_id + 1,
+    ]
+    for node in program.nodes:
+        flags = 0
+        if node.is_memory:
+            flags |= _FLAG_MEMORY
+        if node.guard is not None:
+            flags |= _FLAG_GUARD
+        if node.prefetched:
+            flags |= _FLAG_PREFETCH
+        if node.vector_group is not None:
+            flags |= _FLAG_VECTOR
+        row, col = node.coord
+        words.append(encode_instruction(node.instruction))
+        words.append(node.instruction.address & 0xFFFFFFFF)
+        words.append(((row & 0xFFF) << 20) | ((col + 1 & 0xFFF) << 8) | flags)
+        words.append(_encode_operand(node.src1))
+        words.append(_encode_operand(node.src2))
+        if node.guard is not None:
+            words.append(node.guard.branch_node_id)
+            words.append(_encode_operand(node.guard.fallback))
+        if node.vector_group is not None:
+            words.append(node.vector_group)
+    reg_key = lambda r: (r.file.value, r.index)  # noqa: E731
+    words.append(len(program.live_in))
+    for register in sorted(program.live_in, key=reg_key):
+        words.append(_encode_register(register))
+    words.append(len(program.live_out))
+    for register, node_id in sorted(program.live_out.items(),
+                                    key=lambda item: reg_key(item[0])):
+        words.append(_encode_register(register))
+        words.append(node_id)
+    return words
+
+
+def decode_bitstream(words: list[int],
+                     config: AcceleratorConfig) -> AcceleratorProgram:
+    """Reconstruct a configured program from its bitstream.
+
+    Raises:
+        BitstreamError: on malformed streams or a geometry mismatch with
+            ``config``.
+    """
+    cursor = 0
+
+    def take() -> int:
+        nonlocal cursor
+        if cursor >= len(words):
+            raise BitstreamError("truncated bitstream")
+        word = words[cursor]
+        cursor += 1
+        return word
+
+    if take() != _MAGIC:
+        raise BitstreamError("bad magic word")
+    if take() != _VERSION:
+        raise BitstreamError("unsupported bitstream version")
+    geometry = take()
+    rows, cols = geometry >> 16, geometry & 0xFFFF
+    if (rows, cols) != (config.rows, config.cols):
+        raise BitstreamError(
+            f"bitstream is for a {rows}x{cols} array, not "
+            f"{config.rows}x{config.cols}"
+        )
+    node_count = take()
+    loop_word = take()
+    loop_branch_id = None if loop_word == 0 else loop_word - 1
+
+    nodes: list[ConfiguredNode] = []
+    for node_id in range(node_count):
+        instr_word = take()
+        address = take()
+        placement = take()
+        src1 = _decode_operand(take())
+        src2 = _decode_operand(take())
+        flags = placement & 0xFF
+        guard = None
+        if flags & _FLAG_GUARD:
+            branch_id = take()
+            fallback = _decode_operand(take())
+            guard = Guard(branch_node_id=branch_id, fallback=fallback)
+        vector_group = take() if flags & _FLAG_VECTOR else None
+        instruction = decode_instruction(instr_word, address=address)
+        row = (placement >> 20) & 0xFFF
+        col = ((placement >> 8) & 0xFFF) - 1
+        nodes.append(ConfiguredNode(
+            node_id=node_id,
+            instruction=instruction,
+            coord=(row, col),
+            src1=src1,
+            src2=src2,
+            guard=guard,
+            is_memory=bool(flags & _FLAG_MEMORY),
+            vector_group=vector_group,
+            prefetched=bool(flags & _FLAG_PREFETCH),
+        ))
+
+    live_in = set()
+    for _ in range(take()):
+        register = _decode_register(take())
+        if register is None:
+            raise BitstreamError("bad live-in register")
+        live_in.add(register)
+    live_out: dict[Register, int] = {}
+    for _ in range(take()):
+        register = _decode_register(take())
+        if register is None:
+            raise BitstreamError("bad live-out register")
+        live_out[register] = take()
+    if cursor != len(words):
+        raise BitstreamError(f"{len(words) - cursor} trailing words")
+    return AcceleratorProgram(
+        config=config,
+        nodes=nodes,
+        loop_branch_id=loop_branch_id,
+        live_out=live_out,
+        live_in=live_in,
+    )

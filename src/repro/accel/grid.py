@@ -1,0 +1,103 @@
+"""The PE array: capability masks and occupancy tracking.
+
+This module realizes the matrices of paper §3.3:
+
+* ``F`` — the placement matrix (instruction assigned per PE);
+* ``F_free`` — the binary availability matrix ("the two-dimensional analog to
+  the register free list for renaming in out-of-order processors");
+* ``F_op`` — one constant binary mask per operation class indicating which
+  PEs support it ("predetermined based on the specifications of the hardware
+  backend").
+
+Masks are NumPy boolean arrays so the mapper can combine them with
+element-wise AND exactly as the paper's hardware does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..isa import OpClass
+from .config import AcceleratorConfig, Coord
+
+__all__ = ["PEGrid"]
+
+
+class PEGrid:
+    """Occupancy and capability state of one accelerator's PE array."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        #: F: node id occupying each PE, or -1 for a nop (the "zero matrix").
+        self.placement = np.full((config.rows, config.cols), -1, dtype=np.int64)
+        #: F_free: True where a PE is unoccupied.
+        self.free = np.ones((config.rows, config.cols), dtype=bool)
+        self._op_masks: dict[OpClass, np.ndarray] = {}
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.config.rows, self.config.cols)
+
+    def op_mask(self, op_class: OpClass) -> np.ndarray:
+        """F_op for one operation class (cached constant mask)."""
+        mask = self._op_masks.get(op_class)
+        if mask is None:
+            rows, cols = self.shape
+            mask = np.array(
+                [[self.config.supports(op_class, (r, c)) for c in range(cols)]
+                 for r in range(rows)],
+                dtype=bool,
+            )
+            mask.setflags(write=False)
+            self._op_masks[op_class] = mask
+        return mask
+
+    def available_mask(self, op_class: OpClass) -> np.ndarray:
+        """``F_free AND F_op``: PEs that can accept ``op_class`` right now."""
+        return self.free & self.op_mask(op_class)
+
+    def occupy(self, coord: Coord, node_id: int) -> None:
+        """Place a node at a PE.
+
+        Raises:
+            ValueError: if the PE is already occupied.
+            IndexError: if the coordinate is outside the grid.
+        """
+        row, col = coord
+        if not (0 <= row < self.config.rows and 0 <= col < self.config.cols):
+            raise IndexError(f"coordinate {coord} outside {self.shape}")
+        if not self.free[row, col]:
+            raise ValueError(f"PE {coord} already occupied by node "
+                             f"{self.placement[row, col]}")
+        self.placement[row, col] = node_id
+        self.free[row, col] = False
+
+    def release(self, coord: Coord) -> None:
+        """Free a PE (used when re-mapping between optimization rounds)."""
+        row, col = coord
+        self.placement[row, col] = -1
+        self.free[row, col] = True
+
+    def occupant(self, coord: Coord) -> int | None:
+        """Node id at a coordinate, or None if free."""
+        value = int(self.placement[coord[0], coord[1]])
+        return None if value == -1 else value
+
+    def clear(self) -> None:
+        """Reset to the all-nop state."""
+        self.placement.fill(-1)
+        self.free.fill(True)
+
+    @property
+    def occupied_count(self) -> int:
+        return int((~self.free).sum())
+
+    def free_neighbourhood(self, coord: Coord, radius: int = 1) -> int:
+        """Number of free PEs within a Chebyshev radius (the paper's
+        tie-breaker: "prioritize positions with more free entries in its
+        local neighborhood")."""
+        row, col = coord
+        r0, r1 = max(0, row - radius), min(self.config.rows, row + radius + 1)
+        c0, c1 = max(0, col - radius), min(self.config.cols, col + radius + 1)
+        window = self.free[r0:r1, c0:c1]
+        return int(window.sum()) - int(self.free[row, col])

@@ -1,0 +1,121 @@
+"""Interconnect latency models.
+
+MESA "does not restrict the type of interconnect used in the backend as long
+as it can model the point-to-point communication latency between two PEs"
+(paper §3.3).  Each model here is exactly that: a function
+``latency(src, dst) -> cycles``, the paper's hardware-implementable ``l(C)``.
+
+Three topologies are provided, matching the paper's examples and evaluation
+backend:
+
+* :class:`MeshInterconnect` — latency = Manhattan distance (Fig. 2, Fig. 4
+  example 2);
+* :class:`RowSliceInterconnect` — 1 cycle within a row, a fixed cost across
+  rows (Fig. 4 example 1);
+* :class:`MeshNocInterconnect` — the evaluation backend (Fig. 9): direct
+  neighbor links at 1 cycle/hop combined with a half-ring NoC with a router
+  per 4-PE slice for distant traversals; a transfer uses whichever is faster.
+
+Load/store entries sit at column ``-1`` of their row (a strip along the
+array's edge, Fig. 5) and are reachable by both interconnects.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from .config import AcceleratorConfig, Coord, InterconnectKind
+
+__all__ = [
+    "Interconnect",
+    "MeshInterconnect",
+    "RowSliceInterconnect",
+    "MeshNocInterconnect",
+    "build_interconnect",
+]
+
+
+class Interconnect(ABC):
+    """Point-to-point latency model for one backend topology."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+
+    @abstractmethod
+    def latency(self, src: Coord, dst: Coord) -> int:
+        """Data-transfer latency in cycles from ``src`` to ``dst``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def _manhattan(self, src: Coord, dst: Coord) -> int:
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+class MeshInterconnect(Interconnect):
+    """Dense 2-D mesh: latency equals hop count (Manhattan distance)."""
+
+    def latency(self, src: Coord, dst: Coord) -> int:
+        if src == dst:
+            return 0
+        return self._manhattan(src, dst) * self.config.local_hop_latency
+
+
+class RowSliceInterconnect(Interconnect):
+    """Hierarchical row slices: single-cycle in-row, fixed cost across rows.
+
+    Fig. 4 example 1: "a hierarchical interconnect of row slices allows
+    point-to-point single-cycle latency between PEs in the same row and a
+    fixed 3-cycle latency across rows".
+    """
+
+    def latency(self, src: Coord, dst: Coord) -> int:
+        if src == dst:
+            return 0
+        if src[0] == dst[0]:
+            return self.config.local_hop_latency
+        return self.config.cross_row_latency
+
+
+class MeshNocInterconnect(Interconnect):
+    """The evaluation backend: neighbor links plus a half-ring NoC.
+
+    Local PE-to-PE links cost 1 cycle per hop but are only economical for
+    short distances.  The NoC has a router at every ``noc_slice`` PEs along a
+    row; a packet pays injection/ejection overhead plus one cycle per router
+    hop along the half-ring (rows first, then columns — each lane operates
+    like a bus because mapped dataflow is strictly feedforward, §5.2).
+    A transfer takes whichever path is faster.
+    """
+
+    def latency(self, src: Coord, dst: Coord) -> int:
+        if src == dst:
+            return 0
+        local = self._manhattan(src, dst) * self.config.local_hop_latency
+        return min(local, self._noc_latency(src, dst))
+
+    def _router(self, coord: Coord) -> tuple[int, int]:
+        """(row, slice index) of the router serving a coordinate."""
+        row, col = coord
+        return row, max(0, col) // self.config.noc_slice
+
+    def _noc_latency(self, src: Coord, dst: Coord) -> int:
+        cfg = self.config
+        src_router, dst_router = self._router(src), self._router(dst)
+        # Half-ring: traverse slices within the row, then rows vertically.
+        slice_hops = abs(src_router[1] - dst_router[1])
+        row_hops = abs(src_router[0] - dst_router[0])
+        return (cfg.noc_inject_latency
+                + (slice_hops + row_hops) * cfg.noc_hop_latency
+                + cfg.noc_inject_latency)
+
+
+def build_interconnect(config: AcceleratorConfig) -> Interconnect:
+    """Instantiate the latency model selected by ``config.interconnect``."""
+    kinds = {
+        InterconnectKind.MESH: MeshInterconnect,
+        InterconnectKind.ROW_SLICE: RowSliceInterconnect,
+        InterconnectKind.MESH_NOC: MeshNocInterconnect,
+    }
+    return kinds[config.interconnect](config)

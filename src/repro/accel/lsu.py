@@ -1,0 +1,90 @@
+"""The accelerator's load/store entries.
+
+Paper Fig. 5: "Load/store entries locally interconnected to PEs but maintain
+original program ordering.  Forwarding paths allow stores to broadcast data
+and address when ready, forwarding data to future loads with matching
+addresses."  Entries sit along the array's edge (modeled at column ``-1`` of
+their row) and share a small number of memory ports ("the actual design has
+far more entries sharing a port").
+
+The entries re-use :class:`repro.mem.LoadStoreQueue` for disambiguation and
+forwarding semantics and :class:`repro.mem.MemoryPorts` for bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mem import MemoryPorts
+from .config import AcceleratorConfig, Coord
+
+__all__ = ["LsuAssignment", "LoadStoreEntries"]
+
+
+@dataclass(frozen=True)
+class LsuAssignment:
+    """A memory instruction's slot among the load/store entries."""
+
+    entry_index: int
+    coord: Coord  # position used by the interconnect latency model
+
+
+class LoadStoreEntries:
+    """Allocation and placement of memory instructions into LSU entries.
+
+    Entries are distributed round-robin across rows so that a memory-heavy
+    loop spreads its accesses along the array edge; entry ``i`` lives at
+    coordinate ``(row_of(i), -1)``.
+    """
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.config = config
+        self.ports = MemoryPorts(config.memory_ports)
+        self._next = 0
+        self._assignments: dict[int, LsuAssignment] = {}  # node id -> slot
+
+    @property
+    def capacity(self) -> int:
+        return self.config.lsu_entries
+
+    @property
+    def allocated(self) -> int:
+        return self._next
+
+    @property
+    def full(self) -> bool:
+        return self._next >= self.capacity
+
+    def entry_coord(self, entry_index: int) -> Coord:
+        """Edge coordinate of one entry (row spread, column -1)."""
+        rows = self.config.rows
+        stride = max(1, rows * self.config.cols // max(1, self.capacity))
+        row = (entry_index * stride) % rows
+        return (row, -1)
+
+    def allocate(self, node_id: int) -> LsuAssignment:
+        """Assign the next entry, in program order, to a memory node.
+
+        Raises:
+            OverflowError: when all entries are taken (a structural hazard
+                that disqualifies the loop, condition C1).
+        """
+        if self.full:
+            raise OverflowError(
+                f"all {self.capacity} load/store entries in use"
+            )
+        if node_id in self._assignments:
+            raise ValueError(f"node {node_id} already has an LSU entry")
+        assignment = LsuAssignment(self._next, self.entry_coord(self._next))
+        self._assignments[node_id] = assignment
+        self._next += 1
+        return assignment
+
+    def assignment(self, node_id: int) -> LsuAssignment:
+        return self._assignments[node_id]
+
+    def clear(self) -> None:
+        """Release all entries (new code region)."""
+        self._next = 0
+        self._assignments.clear()
+        self.ports.reset()

@@ -1,0 +1,178 @@
+"""The accelerator-side program representation.
+
+An :class:`AcceleratorProgram` is what MESA's configuration step (T3)
+ultimately writes into the fabric: one :class:`ConfiguredNode` per loop-body
+instruction, carrying its PE or LSU placement, where each operand comes from,
+its predication guard, and the live-out register map.  The dataflow engine
+executes this structure directly, and the bitstream codec serializes it.
+
+Operand kinds capture the paper's dataflow model:
+
+* ``NODE`` — output of an earlier node in the same iteration (a DFG edge);
+* ``LOOP_CARRIED`` — output of a node from the *previous* iteration (an
+  induction/recurrence value); on the first iteration the value comes from
+  the architectural register transferred at offload;
+* ``REGISTER`` — a loop-invariant live-in register, latched at configuration;
+* ``NONE`` — no second operand (immediates are part of the instruction).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..isa import Instruction, OpClass, Register
+from .config import AcceleratorConfig, Coord
+
+__all__ = ["OperandKind", "Operand", "Guard", "ConfiguredNode",
+           "AcceleratorProgram"]
+
+
+class OperandKind(enum.Enum):
+    NODE = "node"
+    LOOP_CARRIED = "loop_carried"
+    REGISTER = "register"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One input of a configured node."""
+
+    kind: OperandKind
+    node_id: int | None = None
+    register: Register | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is OperandKind.NODE and self.node_id is None:
+            raise ValueError("NODE operand needs a node_id")
+        if self.kind is OperandKind.LOOP_CARRIED and (
+                self.node_id is None or self.register is None):
+            raise ValueError("LOOP_CARRIED operand needs node_id and register")
+        if self.kind is OperandKind.REGISTER and self.register is None:
+            raise ValueError("REGISTER operand needs a register")
+
+    @classmethod
+    def node(cls, node_id: int) -> "Operand":
+        return cls(OperandKind.NODE, node_id=node_id)
+
+    @classmethod
+    def loop_carried(cls, node_id: int, register: Register) -> "Operand":
+        return cls(OperandKind.LOOP_CARRIED, node_id=node_id, register=register)
+
+    @classmethod
+    def from_register(cls, register: Register) -> "Operand":
+        return cls(OperandKind.REGISTER, register=register)
+
+    @classmethod
+    def none(cls) -> "Operand":
+        return cls(OperandKind.NONE)
+
+
+@dataclass(frozen=True)
+class Guard:
+    """Predication: this node is disabled when a forward branch is taken.
+
+    Paper §5: "instructions under a branch region carry a hidden dependency
+    on the previous instruction producing its destination register ...
+    disabled PEs must still forward the old register's value".
+    """
+
+    branch_node_id: int
+    #: Value the node's output takes when disabled (the "old" register value).
+    fallback: Operand
+
+
+@dataclass(frozen=True)
+class ConfiguredNode:
+    """One loop-body instruction as configured on the fabric."""
+
+    node_id: int
+    instruction: Instruction
+    coord: Coord
+    src1: Operand = field(default_factory=Operand.none)
+    src2: Operand = field(default_factory=Operand.none)
+    guard: Guard | None = None
+    #: True when placed in a load/store entry rather than a PE.
+    is_memory: bool = False
+    #: Vectorization group: loads in a group share one memory-port grant.
+    vector_group: int | None = None
+    #: Prefetched load: miss latency is hidden after the first iteration.
+    prefetched: bool = False
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.instruction.op_class
+
+    def operands(self) -> tuple[Operand, Operand]:
+        return (self.src1, self.src2)
+
+
+@dataclass
+class AcceleratorProgram:
+    """A fully configured loop region ready to execute on the fabric."""
+
+    config: AcceleratorConfig
+    nodes: list[ConfiguredNode]
+    #: Node id of the backward loop-closing branch (None = single pass).
+    loop_branch_id: int | None
+    #: Architectural registers written by the loop: register -> producing node.
+    live_out: dict[Register, int] = field(default_factory=dict)
+    #: Registers read before written (must be transferred at offload).
+    live_in: set[Register] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for index, node in enumerate(self.nodes):
+            if node.node_id != index:
+                raise ValueError(
+                    f"node ids must be dense program order; got {node.node_id} "
+                    f"at index {index}"
+                )
+        if self.loop_branch_id is not None and not (
+                0 <= self.loop_branch_id < len(self.nodes)):
+            raise ValueError("loop_branch_id out of range")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def memory_nodes(self) -> list[ConfiguredNode]:
+        return [n for n in self.nodes if n.is_memory]
+
+    @property
+    def compute_nodes(self) -> list[ConfiguredNode]:
+        return [n for n in self.nodes if not n.is_memory]
+
+    def node(self, node_id: int) -> ConfiguredNode:
+        return self.nodes[node_id]
+
+    def validate_placement(self) -> None:
+        """Check structural invariants of the mapping.
+
+        Raises:
+            ValueError: two nodes share a PE, a memory node is not at an LSU
+                coordinate, or an operand references a later node.
+        """
+        seen: dict[Coord, int] = {}
+        for node in self.nodes:
+            if node.coord in seen and not node.is_memory:
+                raise ValueError(
+                    f"nodes {seen[node.coord]} and {node.node_id} share PE "
+                    f"{node.coord}"
+                )
+            if not node.is_memory:
+                seen[node.coord] = node.node_id
+                row, col = node.coord
+                if not (0 <= row < self.config.rows and 0 <= col < self.config.cols):
+                    raise ValueError(f"node {node.node_id} at {node.coord} "
+                                     "is outside the grid")
+            elif node.coord[1] != -1:
+                raise ValueError(f"memory node {node.node_id} must sit at an "
+                                 f"LSU coordinate (col -1), got {node.coord}")
+            for operand in node.operands():
+                if (operand.kind is OperandKind.NODE
+                        and operand.node_id >= node.node_id):
+                    raise ValueError(
+                        f"node {node.node_id} reads same-iteration output of "
+                        f"later node {operand.node_id}"
+                    )

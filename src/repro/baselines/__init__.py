@@ -1,0 +1,23 @@
+"""Comparison baselines used by the paper's evaluation.
+
+* :class:`OpenCgraScheduler` — an OpenCGRA-style compiler that time-schedules
+  the same LDFG with iterative modulo scheduling (Fig. 12);
+* :class:`DynaSpamMapper` — a DynaSpAM-style dynamic mapper onto a 1-D
+  feed-forward in-pipeline fabric (Fig. 14, Table 2);
+* the CPU baselines live in :mod:`repro.cpu` (:class:`OutOfOrderCore` and
+  :class:`MulticoreCpu`).
+"""
+
+from .dynaspam import DynaSpamConfig, DynaSpamError, DynaSpamMapper, DynaSpamMapping
+from .opencgra import CgraConfig, CgraSchedule, OpenCgraScheduler, ScheduleError
+
+__all__ = [
+    "DynaSpamConfig",
+    "DynaSpamError",
+    "DynaSpamMapper",
+    "DynaSpamMapping",
+    "CgraConfig",
+    "CgraSchedule",
+    "OpenCgraScheduler",
+    "ScheduleError",
+]

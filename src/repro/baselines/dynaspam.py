@@ -1,0 +1,171 @@
+"""DynaSpAM-style baseline: dynamic mapping onto a 1-D feed-forward fabric.
+
+DynaSpAM (Liu et al., ISCA 2015) "introduces microarchitectural additions to
+dynamically map program traces at runtime to a fixed feedforward CGRA on the
+CPU" — the fabric lives *inside* the core pipeline, inherits the out-of-order
+scheduler's issue order, and is restricted to a 1-D feed-forward topology
+(paper Table 2: "1D FF", config latency "JIT (ns)").
+
+Consequences modeled here, which drive Fig. 14's comparison:
+
+* mapping is near-instant (nanoseconds) but the fabric has a small fixed
+  capacity (lanes × depth);
+* the trace is levelized by dependence depth (the OoO schedule); each level
+  crosses one fabric stage, so per-iteration latency follows the dependence
+  height plus memory time on the core's ports;
+* no 2-D spatial tiling and no loop-level parallel optimizations — the
+  fabric executes one iteration's trace at a time with modest pipelining;
+* because it sits in the pipeline and leans on core speculation, it can
+  accept loops with inner control that MESA must reject (SRAD, B+Tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.ldfg import Ldfg, LdfgEntry, SourceKind
+from ..latency import DEFAULT_LATENCIES, LatencyTable
+
+__all__ = ["DynaSpamConfig", "DynaSpamMapping", "DynaSpamMapper",
+           "DynaSpamError"]
+
+
+class DynaSpamError(RuntimeError):
+    """The trace does not fit the feed-forward fabric."""
+
+
+@dataclass(frozen=True)
+class DynaSpamConfig:
+    """The in-pipeline feed-forward fabric."""
+
+    lanes: int = 4        # parallel functional units per stage
+    depth: int = 8        # feed-forward stages
+    memory_ports: int = 2
+    #: Per-stage forwarding latency (the fabric is tightly bypassed).
+    stage_latency: int = 1
+    latencies: LatencyTable = DEFAULT_LATENCIES
+    #: Configuration cost in cycles — "JIT (ns)", i.e. tens of cycles.
+    config_cycles: int = 40
+
+    @property
+    def capacity(self) -> int:
+        return self.lanes * self.depth
+
+
+@dataclass
+class DynaSpamMapping:
+    """A levelized trace mapped onto the fabric."""
+
+    levels: list[list[int]]           # node ids per dependence level
+    cycles_per_iteration: float
+    initiation_interval: float
+    nodes: int
+
+    @property
+    def depth_used(self) -> int:
+        return len(self.levels)
+
+    @property
+    def ipc(self) -> float:
+        return self.nodes / self.initiation_interval if self.initiation_interval else 0.0
+
+
+class DynaSpamMapper:
+    """Levelize and map one loop iteration's trace onto the fabric."""
+
+    def __init__(self, config: DynaSpamConfig | None = None) -> None:
+        self.config = config if config is not None else DynaSpamConfig()
+        self._last_critical_path = 0.0
+
+    def map(self, ldfg: Ldfg, average_memory_latency: float = 4.0) -> DynaSpamMapping:
+        """Map the loop body; raises DynaSpamError when it does not fit.
+
+        Args:
+            ldfg: the loop body's logical DFG.
+            average_memory_latency: measured AMAT of the core's D-cache path
+                (the fabric shares the core's memory ports).
+        """
+        entries = [e for e in ldfg.entries if not e.eliminated]
+        if len(entries) > self.config.capacity:
+            raise DynaSpamError(
+                f"{len(entries)} operations exceed fabric capacity "
+                f"{self.config.capacity}"
+            )
+        levels = self._levelize(entries)
+        if len(levels) > self.config.depth:
+            raise DynaSpamError(
+                f"dependence height {len(levels)} exceeds fabric depth "
+                f"{self.config.depth}"
+            )
+
+        cycles = self._iteration_cycles(ldfg, entries, levels,
+                                        average_memory_latency)
+        self._last_critical_path = cycles
+        ii = self._initiation_interval(entries)
+        return DynaSpamMapping(
+            levels=levels,
+            cycles_per_iteration=cycles,
+            initiation_interval=ii,
+            nodes=len(entries),
+        )
+
+    def _levelize(self, entries: list[LdfgEntry]) -> list[list[int]]:
+        """ASAP levelization by same-iteration dependence depth, respecting
+        the per-level lane limit (excess spills to the next stage)."""
+        level_of: dict[int, int] = {}
+        levels: list[list[int]] = []
+        fill: dict[int, int] = {}
+        for entry in entries:
+            depth = 0
+            for ref in (entry.s1, entry.s2):
+                if ref.kind is SourceKind.NODE and ref.node_id in level_of:
+                    depth = max(depth, level_of[ref.node_id] + 1)
+            while fill.get(depth, 0) >= self.config.lanes:
+                depth += 1
+            level_of[entry.node_id] = depth
+            fill[depth] = fill.get(depth, 0) + 1
+            while len(levels) <= depth:
+                levels.append([])
+            levels[depth].append(entry.node_id)
+        return levels
+
+    def _op_latency(self, entry: LdfgEntry,
+                    memory_latency: float) -> float:
+        if entry.instruction.is_memory:
+            return memory_latency
+        try:
+            return float(self.config.latencies.for_instruction(
+                entry.instruction))
+        except KeyError:
+            return 1.0
+
+    def _iteration_cycles(self, ldfg: Ldfg, entries, levels,
+                          memory_latency: float) -> float:
+        """Critical path through the levelized fabric (ops + stage hops)."""
+        completion: dict[int, float] = {}
+        for level in levels:
+            for node_id in level:
+                entry = ldfg[node_id]
+                ready = 0.0
+                for ref in (entry.s1, entry.s2):
+                    if ref.kind is SourceKind.NODE and ref.node_id in completion:
+                        ready = max(ready, completion[ref.node_id]
+                                    + self.config.stage_latency)
+                completion[node_id] = ready + self._op_latency(
+                    entry, memory_latency)
+        return max(completion.values(), default=0.0)
+
+    #: How deeply consecutive iterations overlap in the fabric.  DynaSpAM
+    #: executes mapped traces out of the core's instruction window, so
+    #: overlap is bounded by the window, not by full modulo pipelining —
+    #: roughly two iterations in flight.
+    _OVERLAP = 2.0
+
+    def _initiation_interval(self, entries) -> float:
+        """Steady-state II: the fabric overlaps a couple of iterations but
+        shares the core's memory ports, and loop-carried values recirculate
+        through the register file."""
+        memory = sum(1 for e in entries if e.instruction.is_memory)
+        resource_ii = max(1.0, memory / self.config.memory_ports)
+        depth_ii = self._last_critical_path / self._OVERLAP
+        return max(resource_ii + 1.0, depth_ii)

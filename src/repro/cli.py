@@ -1,0 +1,132 @@
+"""Command-line interface: run kernels and regenerate evaluation artifacts.
+
+Examples::
+
+    python -m repro run nn --config M-128 --iterations 512
+    python -m repro fig 11 --iterations 256
+    python -m repro fig 15
+    python -m repro table 1 --config M-64
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .accel import mesa_config
+from .core import MesaController
+from .harness import (
+    fig11_rodinia,
+    fig12_opencgra,
+    fig13_breakdown,
+    fig14_dynaspam,
+    fig15_pe_scaling,
+    fig16_amortization,
+    table1_area_power,
+    table2_config_latency,
+)
+from .workloads import build_kernel, kernel_names
+
+__all__ = ["main", "build_parser"]
+
+_FIG_DRIVERS = {
+    "11": lambda args: fig11_rodinia(iterations=args.iterations),
+    "12": lambda args: fig12_opencgra(iterations=args.iterations),
+    "13": lambda args: fig13_breakdown(iterations=args.iterations),
+    "14": lambda args: fig14_dynaspam(iterations=args.iterations),
+    "15": lambda args: fig15_pe_scaling(),
+    "16": lambda args: fig16_amortization(),
+}
+
+_TABLE_DRIVERS = {
+    "1": lambda args: table1_area_power(mesa_config(args.config)),
+    "2": lambda args: table2_config_latency(iterations=args.iterations),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MESA (ISCA 2023) reproduction: run kernels and "
+                    "regenerate the paper's evaluation artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one kernel through MESA")
+    run_cmd.add_argument("kernel", choices=kernel_names())
+    run_cmd.add_argument("--config", default="M-128",
+                         help="backend: M-64 / M-128 / M-512")
+    run_cmd.add_argument("--iterations", type=int, default=256)
+    run_cmd.add_argument("--serial", action="store_true",
+                         help="ignore the kernel's parallel annotation")
+
+    fig_cmd = sub.add_parser("fig", help="regenerate one figure")
+    fig_cmd.add_argument("number", choices=sorted(_FIG_DRIVERS))
+    fig_cmd.add_argument("--iterations", type=int, default=256)
+
+    table_cmd = sub.add_parser("table", help="regenerate one table")
+    table_cmd.add_argument("number", choices=sorted(_TABLE_DRIVERS))
+    table_cmd.add_argument("--config", default="M-128")
+    table_cmd.add_argument("--iterations", type=int, default=256)
+
+    sub.add_parser("list", help="list the available kernels")
+    return parser
+
+
+def _cmd_run(args) -> str:
+    kernel = build_kernel(args.kernel, iterations=args.iterations)
+    controller = MesaController(mesa_config(args.config))
+    parallel = False if args.serial else kernel.parallelizable
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=parallel)
+    lines = [
+        f"kernel:      {kernel.name} ({kernel.description})",
+        f"backend:     {args.config}, {args.iterations} iterations",
+        f"accelerated: {result.accelerated} ({result.reason})",
+        f"cycles:      {result.total_cycles:.0f} "
+        f"(single-core baseline {result.cpu_only.cycles})",
+        f"speedup:     {result.speedup_vs_single_core:.2f}x",
+    ]
+    if result.accelerated:
+        lines += [
+            f"plan:        {result.loop_plan.reason}, "
+            f"pipelined={result.loop_plan.pipelined}",
+            f"config:      {result.config_cost.total} cycles, "
+            f"{result.bitstream_words} bitstream words",
+            f"offloads:    {result.offload_count} "
+            f"({result.accel_iterations} fabric iterations)",
+        ]
+        if kernel.verify is not None:
+            correct = kernel.verify(result.final_state)
+            lines.append(f"verified:    {'ok' if correct else 'WRONG RESULT'}")
+    return "\n".join(lines)
+
+
+def _cmd_list() -> str:
+    rows = []
+    for name in kernel_names():
+        kernel = build_kernel(name, iterations=8)
+        tag = "parallel" if kernel.parallelizable else "serial"
+        rows.append(f"  {name:<14} [{kernel.category}/{tag}] "
+                    f"{kernel.description}")
+    return "available Rodinia kernels:\n" + "\n".join(rows)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        print(_cmd_run(args))
+    elif args.command == "fig":
+        print(_FIG_DRIVERS[args.number](args).render())
+    elif args.command == "table":
+        print(_TABLE_DRIVERS[args.number](args).render())
+    elif args.command == "list":
+        print(_cmd_list())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

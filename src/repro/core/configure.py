@@ -1,0 +1,222 @@
+"""Accelerator configuration (T3: Spatial DFG → Configuration).
+
+Turns a mapped :class:`~repro.core.sdfg.Sdfg` into the
+:class:`~repro.accel.program.AcceleratorProgram` the fabric executes, models
+the *time* configuration takes (the imap FSM of Fig. 8 plus the ConfigBlock's
+sequential bitstream writes), and caches configurations per code region —
+"a configuration cache is stored on MESA for loops that have already been
+mapped in case they are re-encountered in the near future" (§4.3).
+
+The cycle model places MESA's configuration latency in the paper's reported
+10^3–10^4-cycle range for 64–512-instruction regions (Table 2's "JIT
+(ns–µs)" row at 2 GHz).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..accel import (
+    AcceleratorProgram,
+    ConfiguredNode,
+    Guard,
+    Operand,
+    encode_bitstream,
+)
+from .ldfg import SourceKind, SourceRef
+from .mapping import MappingStats
+from .sdfg import Sdfg
+
+__all__ = ["ConfigTimingModel", "ConfigurationCost", "ConfigCache",
+           "build_program", "configuration_cost"]
+
+
+@dataclass(frozen=True)
+class ConfigTimingModel:
+    """Per-stage cycle costs of MESA's hardware pipeline."""
+
+    #: Rename + LDFG insert per instruction (frontend, §5).
+    rename_cycles: int = 1
+    #: Fixed imap FSM states per instruction (candidate generation, filter,
+    #: latency computation, writeback — Fig. 8).
+    imap_fixed_stages: int = 4
+    #: The reduction stage "depends on the dimensions of the candidate
+    #: matrix": a log-depth comparator tree over the window cells.
+    def reduction_cycles(self, window_cells: int) -> int:
+        return max(1, math.ceil(math.log2(max(2, window_cells))))
+
+    #: ConfigBlock: one configuration word written per cycle.
+    write_cycles_per_word: int = 1
+    #: Stall-fetching a missing instruction from the I-cache (§4.1).
+    stall_fill_cycles: int = 8
+
+
+@dataclass(frozen=True)
+class ConfigurationCost:
+    """Cycle breakdown of one configuration pass."""
+
+    ldfg_build_cycles: int
+    mapping_cycles: int
+    write_cycles: int
+    stall_fill_cycles: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.ldfg_build_cycles + self.mapping_cycles
+                + self.write_cycles + self.stall_fill_cycles)
+
+    def microseconds(self, frequency_ghz: float) -> float:
+        return self.total / (frequency_ghz * 1000.0)
+
+
+def configuration_cost(sdfg: Sdfg, bitstream_words: int,
+                       mapper_stats: MappingStats | None = None,
+                       stall_fills: int = 0,
+                       timing: ConfigTimingModel | None = None,
+                       window_cells: int = 32) -> ConfigurationCost:
+    """Cycles to build the LDFG, run imap, and write the configuration.
+
+    When mapper statistics carry per-instruction candidate counts, the imap
+    time comes from stepping the Fig. 8 state machine exactly
+    (:class:`~repro.core.imap_fsm.ImapFsm`); otherwise the analytic
+    fixed-stages + log-depth-reduction estimate is used.
+    """
+    from .imap_fsm import ImapFsm
+
+    timing = timing if timing is not None else ConfigTimingModel()
+    instructions = len(sdfg.ldfg)
+    if (mapper_stats is not None
+            and mapper_stats.per_instruction_candidates):
+        mapping_cycles = ImapFsm().simulate(
+            mapper_stats.per_instruction_candidates).total_cycles
+        # Memory instructions skip the candidate search (program-order LSU
+        # allocation) but still pass through the constant FSM states.
+        mapping_cycles += (mapper_stats.memory_placed
+                           * timing.imap_fixed_stages)
+    else:
+        per_instruction = (timing.imap_fixed_stages
+                           + timing.reduction_cycles(window_cells))
+        mapped = (mapper_stats.placed if mapper_stats is not None
+                  else instructions)
+        mapping_cycles = mapped * per_instruction
+    return ConfigurationCost(
+        ldfg_build_cycles=instructions * timing.rename_cycles,
+        mapping_cycles=mapping_cycles,
+        write_cycles=bitstream_words * timing.write_cycles_per_word,
+        stall_fill_cycles=stall_fills * timing.stall_fill_cycles,
+    )
+
+
+def build_program(sdfg: Sdfg) -> AcceleratorProgram:
+    """Lower a mapped SDFG to the fabric's program representation.
+
+    Eliminated (store-forwarded) loads are compiled out: node ids are
+    renumbered densely and every reference to an eliminated load is rewired
+    to the forwarding store's data producer — the "direct forwarding path"
+    of §4.2.
+    """
+    ldfg = sdfg.ldfg
+    new_id: dict[int, int] = {}
+    for entry in ldfg.entries:
+        if not entry.eliminated:
+            new_id[entry.node_id] = len(new_id)
+
+    def redirect(node_id: int) -> int:
+        """Follow a forwarded load to the store's same-iteration data node."""
+        entry = ldfg[node_id]
+        if entry.eliminated:
+            store = ldfg[entry.forwarded_from_store]
+            data = store.s2
+            assert data.kind is SourceKind.NODE, \
+                "memopt only forwards stores with same-iteration data"
+            return redirect(data.node_id)
+        return node_id
+
+    def to_operand(ref: SourceRef | None) -> Operand:
+        if ref is None or ref.kind is SourceKind.NONE:
+            return Operand.none()
+        if ref.kind is SourceKind.LIVE_IN:
+            return Operand.from_register(ref.register)
+        target = redirect(ref.node_id)
+        if ref.kind is SourceKind.NODE:
+            return Operand.node(new_id[target])
+        return Operand.loop_carried(new_id[target], ref.register)
+
+    nodes: list[ConfiguredNode] = []
+    for entry in ldfg.entries:
+        if entry.eliminated:
+            continue
+        guard = None
+        if entry.guard_branch is not None:
+            guard = Guard(
+                branch_node_id=new_id[redirect(entry.guard_branch)],
+                fallback=to_operand(entry.prev_writer),
+            )
+        nodes.append(ConfiguredNode(
+            node_id=new_id[entry.node_id],
+            instruction=entry.instruction,
+            coord=sdfg.positions[entry.node_id],
+            src1=to_operand(entry.s1),
+            src2=to_operand(entry.s2),
+            guard=guard,
+            is_memory=entry.instruction.is_memory,
+            vector_group=entry.vector_group,
+            prefetched=entry.prefetched,
+        ))
+
+    loop_branch_id = (new_id[ldfg.loop_branch_id]
+                      if ldfg.loop_branch_id is not None else None)
+    live_out = {reg: new_id[redirect(node)]
+                for reg, node in ldfg.rename_table.items()}
+    return AcceleratorProgram(
+        config=sdfg.config,
+        nodes=nodes,
+        loop_branch_id=loop_branch_id,
+        live_out=live_out,
+        live_in=set(ldfg.live_in),
+    )
+
+
+@dataclass
+class _CacheEntry:
+    program: AcceleratorProgram
+    bitstream: list[int]
+    cost: ConfigurationCost
+
+
+class ConfigCache:
+    """Per-region configuration cache (re-encountered loops skip T1–T3)."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: dict[tuple[int, int, str], _CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, start: int, end: int, config_name: str) -> tuple[int, int, str]:
+        return (start, end, config_name)
+
+    def lookup(self, start: int, end: int,
+               config_name: str) -> tuple[AcceleratorProgram, list[int]] | None:
+        entry = self._entries.get(self._key(start, end, config_name))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.program, entry.bitstream
+
+    def insert(self, start: int, end: int, config_name: str,
+               program: AcceleratorProgram,
+               cost: ConfigurationCost) -> list[int]:
+        """Cache a configuration; returns its bitstream."""
+        bitstream = encode_bitstream(program)
+        if len(self._entries) >= self.capacity:
+            # FIFO eviction keeps the hardware simple.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[self._key(start, end, config_name)] = _CacheEntry(
+            program=program, bitstream=bitstream, cost=cost)
+        return bitstream

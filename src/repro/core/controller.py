@@ -1,0 +1,441 @@
+"""The MESA controller: monitor → translate → map → configure → offload.
+
+This is the top of the library: :class:`MesaController.execute` runs a whole
+program through the modeled system, performing the paper's three functions —
+
+* **F1** monitor CPU execution for acceleration opportunities (loop-stream
+  detection + conditions C1–C3 on the dynamic trace);
+* **F2** translate the hot region's binary into a latency-weighted DFG and
+  map it onto the spatial accelerator (T1–T3);
+* **F3** iteratively re-optimize the configuration from runtime counters.
+
+Timing model of the end-to-end flow (paper §5.1): detection and
+configuration overlap with normal CPU execution — the CPU keeps running loop
+iterations while MESA builds the LDFG and maps it.  Once the configuration is
+written, the CPU halts at the loop entry PC, drains, transfers architectural
+state, and the remaining iterations execute on the fabric; control then
+returns like a subroutine return.  Re-encountered regions hit the
+configuration cache and skip straight to offload.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..accel import (
+    AcceleratorConfig,
+    AcceleratorProgram,
+    AcceleratorRun,
+    ActivityCounters,
+    DataflowEngine,
+    build_interconnect,
+)
+from ..cpu import CoreResult, CpuConfig, OutOfOrderCore, Trace, collect_trace
+from ..isa import Executor, MachineState, Program
+from ..mem import MemoryHierarchy
+from .configure import (
+    ConfigCache,
+    ConfigTimingModel,
+    ConfigurationCost,
+    build_program,
+    configuration_cost,
+)
+from .ldfg import LdfgError, build_ldfg
+from .loopopt import LoopPlan, plan_loop_optimizations
+from .mapping import InstructionMapper, MappingError, MappingOptions
+from .memopt import MemoptReport, apply_memory_optimizations
+from .offload import OffloadCostModel
+from .optimizer import IterativeOptimizer
+from .region import CodeRegionDetector, RegionCriteria, RegionDecision
+from .sdfg import Sdfg
+from .trace_cache import TraceCache
+
+__all__ = ["MesaOptions", "CycleBreakdown", "AcceleratedRegion",
+           "MesaResult", "MesaController"]
+
+
+@dataclass(frozen=True)
+class MesaOptions:
+    """Feature switches and policy knobs for one controller instance."""
+
+    memopt: bool = True
+    tiling: bool = True
+    pipelining: bool = True
+    #: Out-of-order load issue with invalidation replay (§4.2).
+    speculative_loads: bool = True
+    #: Extra profile→remap rounds after the initial configuration.
+    iterative_rounds: int = 0
+    mapping: MappingOptions = field(default_factory=MappingOptions)
+    criteria: RegionCriteria = field(default_factory=RegionCriteria)
+    offload: OffloadCostModel = field(default_factory=OffloadCostModel)
+    config_timing: ConfigTimingModel = field(default_factory=ConfigTimingModel)
+    #: Iterations the LSD needs before a loop is considered hot.
+    detection_iterations: int = 4
+    #: Iterations per profiling window in iterative mode.
+    profile_iterations: int = 16
+
+
+@dataclass
+class CycleBreakdown:
+    """Where the modeled execution time went."""
+
+    cpu_cycles: float = 0.0       # instructions executed on the CPU
+    offload_cycles: float = 0.0   # drain + state transfer + handshake
+    accel_cycles: float = 0.0     # iterations executed on the fabric
+    return_cycles: float = 0.0    # state/control return
+    #: Configuration work not hidden behind concurrent CPU execution.
+    exposed_config_cycles: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.cpu_cycles + self.offload_cycles + self.accel_cycles
+                + self.return_cycles + self.exposed_config_cycles)
+
+
+@dataclass
+class AcceleratedRegion:
+    """One configured code region and its execution record."""
+
+    decision: RegionDecision
+    sdfg: Sdfg
+    accel_program: AcceleratorProgram
+    bitstream_words: int
+    cost: ConfigurationCost
+    memopt_report: MemoptReport | None
+    plan: LoopPlan
+    #: CPU iterations before the first offload (detection + config overlap).
+    warmup: int
+    runs: list[AcceleratorRun] = field(default_factory=list)
+    offloads: int = 0
+
+    @property
+    def loop(self):
+        return self.decision.loop
+
+
+@dataclass
+class MesaResult:
+    """Outcome of running one program through the MESA-enabled system.
+
+    The top-level fields (``decision``, ``sdfg``, ...) describe the
+    *primary* (hottest) accelerated region; ``regions`` lists every region
+    the controller configured — a program with several hot loops gets each
+    of them offloaded.
+    """
+
+    accelerated: bool
+    reason: str
+    breakdown: CycleBreakdown
+    cpu_only: CoreResult
+    trace: Trace
+    decision: RegionDecision | None = None
+    sdfg: Sdfg | None = None
+    accel_program: AcceleratorProgram | None = None
+    bitstream_words: int = 0
+    config_cost: ConfigurationCost | None = None
+    memopt_report: MemoptReport | None = None
+    loop_plan: LoopPlan | None = None
+    runs: list[AcceleratorRun] = field(default_factory=list)
+    offload_count: int = 0
+    cpu_instructions: int = 0
+    final_state: MachineState | None = None
+    accel_hierarchy: MemoryHierarchy | None = None
+    optimizer_history: list = field(default_factory=list)
+    regions: list[AcceleratedRegion] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def speedup_vs_single_core(self) -> float:
+        return (self.cpu_only.cycles / self.total_cycles
+                if self.total_cycles else 0.0)
+
+    @property
+    def accel_iterations(self) -> int:
+        return sum(run.iterations for run in self.runs)
+
+    @property
+    def activity(self) -> ActivityCounters:
+        merged = ActivityCounters()
+        for run in self.runs:
+            merged = merged.merged(run.activity)
+        return merged
+
+
+class MesaController:
+    """Drives the full MESA pipeline over one program."""
+
+    def __init__(self, config: AcceleratorConfig,
+                 cpu_config: CpuConfig | None = None,
+                 options: MesaOptions | None = None) -> None:
+        self.config = config
+        self.cpu_config = cpu_config if cpu_config is not None else CpuConfig()
+        self.options = options if options is not None else MesaOptions()
+        self.interconnect = build_interconnect(config)
+        self.config_cache = ConfigCache()
+
+    # -- top level ------------------------------------------------------------
+
+    def execute(self, program: Program,
+                state_factory: Callable[[], MachineState],
+                parallelizable: bool = False,
+                max_steps: int = 4_000_000) -> MesaResult:
+        """Run a program on the MESA-enabled system.
+
+        Args:
+            program: the assembled binary.
+            state_factory: builds a fresh initial architectural state
+                (registers + memory image); called several times — for the
+                reference trace, profiling windows, and the measured run.
+            parallelizable: the hot loop carries an OpenMP-style annotation
+                (enables tiling/pipelining, §4.3).
+            max_steps: functional-execution safety bound.
+        """
+        trace = collect_trace(program, state_factory(), max_steps=max_steps)
+        cpu_only = OutOfOrderCore(
+            self.cpu_config, MemoryHierarchy(self.cpu_config.memory)).run(trace)
+
+        detector = CodeRegionDetector(self.config, self.options.criteria)
+        decisions = detector.detect(trace, program)
+        accepted = [d for d in decisions if d.accepted]
+        if not accepted:
+            reason = ("no hot loop detected" if not decisions else
+                      "; ".join(decisions[0].reasons) or "no accepted region")
+            return self._cpu_only_result(reason, trace, cpu_only, decision=None)
+
+        # Configure every accepted region (hottest first); a region whose
+        # translation or mapping fails simply stays on the CPU.
+        optimizer_history: list = []
+        accel_hierarchy = MemoryHierarchy(self.cpu_config.memory)
+        regions: list[AcceleratedRegion] = []
+        failure_reason: str | None = None
+        cpi = cpu_only.cycles / max(1, len(trace))
+        for decision in accepted:
+            translated = self._translate(decision, trace, program)
+            if isinstance(translated, str):
+                failure_reason = failure_reason or translated
+                continue
+            sdfg, memopt_report, trace_cache, mapper_stats = translated
+            if not regions and self.options.iterative_rounds > 0:
+                # Iterative re-optimization (F3) on the primary region.
+                optimizer = IterativeOptimizer(
+                    self.config, self.options.mapping, self.interconnect)
+                sdfg = optimizer.optimize(
+                    sdfg.ldfg, sdfg,
+                    state_factory=lambda d=decision: self._state_at_loop_entry(
+                        program, d, state_factory(), max_steps),
+                    hierarchy=MemoryHierarchy(self.cpu_config.memory),
+                    rounds=self.options.iterative_rounds,
+                    profile_iterations=self.options.profile_iterations,
+                )
+                optimizer_history = optimizer.history
+            regions.append(self._configure_region(
+                decision, sdfg, memopt_report, trace_cache, mapper_stats,
+                parallelizable, trace, cpi))
+        if not regions:
+            return self._cpu_only_result(
+                failure_reason or "no region survived translation",
+                trace, cpu_only, accepted[0])
+
+        return self._execute_with_offload(
+            program, state_factory, regions, trace, cpu_only,
+            accel_hierarchy, optimizer_history, max_steps)
+
+    def _configure_region(self, decision, sdfg, memopt_report, trace_cache,
+                          mapper_stats, parallelizable, trace,
+                          cpi) -> AcceleratedRegion:
+        """T3 + loop planning + warm-up estimate for one accepted region."""
+        from ..accel import encode_bitstream
+
+        accel_program = build_program(sdfg)
+        bitstream = encode_bitstream(accel_program)
+        window_cells = (self.options.mapping.window[0]
+                        * self.options.mapping.window[1])
+        cost = configuration_cost(
+            sdfg, len(bitstream),
+            mapper_stats=mapper_stats,
+            stall_fills=trace_cache.stall_fills,
+            timing=self.options.config_timing,
+            window_cells=window_cells,
+        )
+        self.config_cache.insert(decision.loop.start_address,
+                                 decision.loop.end_address,
+                                 self.config.name, accel_program, cost)
+        plan = plan_loop_optimizations(
+            sdfg, parallelizable,
+            expected_iterations=decision.loop.expected_trip_count,
+            enable_tiling=self.options.tiling,
+            enable_pipelining=self.options.pipelining,
+        )
+        loop = decision.loop
+        loop_entries = sum(1 for e in trace
+                           if loop.start_address <= e.pc <= loop.end_address)
+        iterations = max(1, loop.total_iterations)
+        cycles_per_iteration = max(1.0, loop_entries / iterations * cpi)
+        warmup = self.options.detection_iterations + math.ceil(
+            cost.total / cycles_per_iteration)
+        return AcceleratedRegion(
+            decision=decision,
+            sdfg=sdfg,
+            accel_program=accel_program,
+            bitstream_words=len(bitstream),
+            cost=cost,
+            memopt_report=memopt_report,
+            plan=plan,
+            warmup=warmup,
+        )
+
+    # -- translation (T1 + §4.2 optimizations + T2) -----------------------------
+
+    def _translate(self, decision: RegionDecision, trace: Trace,
+                   program: Program):
+        """Trace cache capture, LDFG build, memopt, and spatial mapping.
+
+        Returns (sdfg, memopt_report, trace_cache) or a failure reason.
+        """
+        trace_cache = TraceCache(self.config.max_instructions)
+        trace_cache.set_region(decision.loop.start_address,
+                               decision.loop.end_address)
+        for entry in trace:
+            trace_cache.observe_fetch(entry.instruction)
+            if trace_cache.complete:
+                break
+        if not trace_cache.complete:
+            trace_cache.fill_missing(program)
+
+        try:
+            ldfg = build_ldfg(trace_cache.body(),
+                              latencies=self.config.latencies)
+        except LdfgError as exc:
+            return f"translation failed: {exc}"
+        memopt_report = None
+        if self.options.memopt:
+            memopt_report = apply_memory_optimizations(ldfg)
+        mapper = InstructionMapper(self.config, self.interconnect,
+                                   self.options.mapping)
+        try:
+            sdfg = mapper.map(ldfg)
+        except MappingError as exc:
+            return f"mapping failed: {exc}"
+        return sdfg, memopt_report, trace_cache, mapper.stats
+
+    # -- measured execution with offload --------------------------------------
+
+    def _execute_with_offload(self, program, state_factory,
+                              regions: list[AcceleratedRegion], trace,
+                              cpu_only, accel_hierarchy, optimizer_history,
+                              max_steps):
+        """Measured run: step the CPU, offloading at every configured
+        region's entry PC once its configuration has warmed up."""
+        options = self.options
+        cpi = cpu_only.cycles / max(1, len(trace))
+
+        state = state_factory()
+        executor = Executor(program, state)
+        breakdown = CycleBreakdown()
+        stepped = 0
+        start, end = program.base_address, program.end_address
+        by_entry = {region.loop.start_address: region for region in regions}
+        engines = {
+            region.loop.start_address: DataflowEngine(
+                region.accel_program, hierarchy=accel_hierarchy,
+                interconnect=self.interconnect)
+            for region in regions
+        }
+        visits: dict[int, int] = {addr: 0 for addr in by_entry}
+        configured: set[int] = set()  # regions past their first offload
+
+        while start <= state.pc < end:
+            region = by_entry.get(state.pc)
+            if region is not None:
+                entry = state.pc
+                visits[entry] += 1
+                threshold = 0 if entry in configured else region.warmup
+                if visits[entry] > threshold:
+                    # Offload: drain, transfer state, run on the fabric.
+                    region.offloads += 1
+                    configured.add(entry)
+                    accel_program = region.accel_program
+                    breakdown.offload_cycles += options.offload.offload_cycles(
+                        len(accel_program.live_in))
+                    run = engines[entry].run(
+                        state, region.plan.to_execution_options(
+                            speculative_loads=options.speculative_loads))
+                    region.runs.append(run)
+                    breakdown.accel_cycles += run.cycles
+                    breakdown.return_cycles += options.offload.return_cycles(
+                        len(accel_program.live_out))
+                    state.pc = region.loop.end_address + 4
+                    visits[entry] = 0
+                    continue
+            executor.step()
+            stepped += 1
+            if stepped > max_steps:
+                raise RuntimeError("functional execution exceeded max_steps")
+        breakdown.cpu_cycles = stepped * cpi
+
+        # The primary region is the hottest one that actually ran.
+        primary = next((r for r in regions if r.runs), regions[0])
+        all_runs = [run for region in regions for run in region.runs]
+        if not all_runs:
+            reason = ("loop completed on the CPU before configuration "
+                      "amortized (trip count below warm-up)")
+            result = self._cpu_only_result(reason, trace, cpu_only,
+                                           primary.decision)
+            result.config_cost = primary.cost
+            return result
+
+        return MesaResult(
+            accelerated=True,
+            reason="offloaded",
+            breakdown=breakdown,
+            cpu_only=cpu_only,
+            trace=trace,
+            decision=primary.decision,
+            sdfg=primary.sdfg,
+            accel_program=primary.accel_program,
+            bitstream_words=primary.bitstream_words,
+            config_cost=primary.cost,
+            memopt_report=primary.memopt_report,
+            loop_plan=primary.plan,
+            runs=all_runs,
+            offload_count=sum(region.offloads for region in regions),
+            cpu_instructions=stepped,
+            final_state=state,
+            accel_hierarchy=accel_hierarchy,
+            optimizer_history=optimizer_history,
+            regions=regions,
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _state_at_loop_entry(self, program: Program, decision: RegionDecision,
+                             state: MachineState, max_steps: int) -> MachineState:
+        """Functionally advance a fresh state to the loop's entry point."""
+        executor = Executor(program, state)
+        start, end = program.base_address, program.end_address
+        steps = 0
+        while start <= state.pc < end and state.pc != decision.loop.start_address:
+            executor.step()
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("loop entry never reached")
+        return state
+
+    def _cpu_only_result(self, reason: str, trace: Trace,
+                         cpu_only: CoreResult,
+                         decision: RegionDecision | None) -> MesaResult:
+        return MesaResult(
+            accelerated=False,
+            reason=reason,
+            breakdown=CycleBreakdown(cpu_cycles=float(cpu_only.cycles)),
+            cpu_only=cpu_only,
+            trace=trace,
+            decision=decision,
+            cpu_instructions=len(trace),
+            final_state=trace.final_state,
+        )

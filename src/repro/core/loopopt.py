@@ -1,0 +1,83 @@
+"""Loop-level optimizations: spatial tiling and pipelining (paper §4.3).
+
+"If a loop is known to be parallelizable without inter-iteration
+dependencies, then we can apply more advanced loop-level optimizations.  As
+MESA does not speculate at the thread level, this scenario only applies to
+pre-annotated programs with OpenMP (``omp parallel`` / ``omp simd``). ...
+we can fully duplicate instances of the same (virtual) SDFG when configuring
+the spatial accelerator" (Fig. 6), and "loop pipelining can also be enabled
+if supported by the hardware".
+
+The planner computes the largest tile factor that fits the PE array and the
+load/store entry pool, and returns the
+:class:`~repro.accel.engine.ExecutionOptions` the engine consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import ExecutionOptions
+from .sdfg import Sdfg
+
+__all__ = ["LoopPlan", "plan_loop_optimizations"]
+
+
+@dataclass(frozen=True)
+class LoopPlan:
+    """The chosen loop-level execution strategy."""
+
+    pipelined: bool
+    tile_factor: int
+    reason: str
+
+    def to_execution_options(self, **overrides) -> ExecutionOptions:
+        return ExecutionOptions(pipelined=self.pipelined,
+                                tile_factor=self.tile_factor, **overrides)
+
+
+def _floor_power_of_two(value: int) -> int:
+    power = 1
+    while power * 2 <= value:
+        power *= 2
+    return power
+
+
+def plan_loop_optimizations(sdfg: Sdfg, parallelizable: bool,
+                            expected_iterations: float | None = None,
+                            enable_tiling: bool = True,
+                            enable_pipelining: bool = True,
+                            max_tile: int = 64) -> LoopPlan:
+    """Decide tiling and pipelining for a mapped loop.
+
+    Args:
+        sdfg: the mapped loop (supplies resource usage).
+        parallelizable: the loop carries an ``omp parallel``/``omp simd``
+            annotation (no inter-iteration dependencies beyond induction).
+        expected_iterations: trip-count estimate; tiling beyond the trip
+            count wastes PEs.
+        enable_tiling / enable_pipelining: ablation switches.
+        max_tile: upper bound on duplicated instances.
+    """
+    # Pipelining is the fabric's natural dataflow overlap: successive
+    # iterations launch as soon as their loop-carried inputs arrive, which
+    # is always dependence-safe.  Only *tiling* (duplicating the SDFG over
+    # disjoint iterations) requires the explicit parallel annotation.
+    pipelined = enable_pipelining
+    if not parallelizable:
+        return LoopPlan(pipelined, 1,
+                        "loop not annotated parallel; no tiling")
+    if not enable_tiling:
+        return LoopPlan(pipelined, 1, "tiling disabled")
+
+    pe_nodes = max(1, sdfg.pe_count)
+    lsu_nodes = sdfg.lsu_count
+    by_pes = sdfg.config.num_pes // pe_nodes
+    by_lsu = (sdfg.config.lsu_entries // lsu_nodes) if lsu_nodes else max_tile
+    limit = max(1, min(by_pes, by_lsu, max_tile))
+    if expected_iterations is not None:
+        limit = max(1, min(limit, int(expected_iterations) or 1))
+    tile = _floor_power_of_two(limit)
+    reason = (f"tile x{tile} (PE capacity {by_pes}, LSU capacity {by_lsu})"
+              if tile > 1 else "no room to tile")
+    return LoopPlan(pipelined, tile, reason)

@@ -1,0 +1,132 @@
+"""Iterative runtime re-optimization (the paper's F3).
+
+"MESA uses runtime information continuously gathered from performance
+counters on the accelerator as inputs to iteratively optimize its spatial
+architecture and perform reconfiguration."  Concretely, each round:
+
+1. execute a profiling window on the current configuration, collecting the
+   per-node latency counters and per-PC AMAT measurements;
+2. write the measured latencies back into the LDFG's node weights (memory
+   nodes pick up their true AMAT — the weight the first mapping could only
+   guess);
+3. re-run the mapping algorithm on the refreshed model; keep the new SDFG
+   only if its *predicted* latency beats the measured one by more than the
+   reconfiguration hysteresis.
+
+"Our goal is not to perfect the accelerator on the first configuration; we
+opt instead to continuously iterate to close in on the optimum" (§2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel import (
+    AcceleratorConfig,
+    DataflowEngine,
+    ExecutionOptions,
+    Interconnect,
+    build_interconnect,
+)
+from ..isa import MachineState
+from ..mem import MemoryHierarchy
+from .configure import build_program
+from .ldfg import Ldfg
+from .mapping import InstructionMapper, MappingOptions
+from .sdfg import Sdfg
+
+__all__ = ["OptimizationRound", "IterativeOptimizer"]
+
+
+@dataclass
+class OptimizationRound:
+    """Record of one profile → refine → remap round."""
+
+    round_index: int
+    measured_iteration_latency: float
+    predicted_after_remap: float
+    remapped: bool
+    profile_iterations: int
+
+
+class IterativeOptimizer:
+    """Feedback loop between the engine's counters and the mapper."""
+
+    def __init__(self, config: AcceleratorConfig,
+                 mapping_options: MappingOptions | None = None,
+                 interconnect: Interconnect | None = None,
+                 improvement_threshold: float = 0.03) -> None:
+        """
+        Args:
+            improvement_threshold: minimum fractional predicted improvement
+                to justify a reconfiguration (hysteresis against thrash).
+        """
+        self.config = config
+        self.mapping_options = (mapping_options if mapping_options is not None
+                                else MappingOptions())
+        self.interconnect = (interconnect if interconnect is not None
+                             else build_interconnect(config))
+        self.improvement_threshold = improvement_threshold
+        self.history: list[OptimizationRound] = []
+
+    def optimize(self, ldfg: Ldfg, sdfg: Sdfg,
+                 state_factory, hierarchy: MemoryHierarchy,
+                 rounds: int = 2, profile_iterations: int = 16) -> Sdfg:
+        """Run up to ``rounds`` refine/remap rounds; returns the best SDFG.
+
+        Args:
+            ldfg: the logical DFG (its node weights are refined in place).
+            sdfg: the current mapping.
+            state_factory: zero-argument callable producing a fresh
+                architectural state at the loop entry (profiling executes
+                real iterations, so it needs real inputs).
+            hierarchy: the memory hierarchy used for profiling (its AMAT
+                counters feed the refinement).
+            rounds: maximum optimization rounds.
+            profile_iterations: iterations measured per round.
+        """
+        self.history = []
+        best = sdfg
+        for round_index in range(rounds):
+            measured = self._profile(best, state_factory, hierarchy,
+                                     profile_iterations)
+            self._refine_weights(ldfg, hierarchy, measured)
+            mapper = InstructionMapper(self.config, self.interconnect,
+                                       self.mapping_options)
+            candidate = mapper.map(ldfg)
+            improvement = (measured.iteration_latency
+                           - candidate.predicted_latency)
+            remap = (measured.iteration_latency > 0
+                     and improvement / measured.iteration_latency
+                     > self.improvement_threshold)
+            self.history.append(OptimizationRound(
+                round_index=round_index,
+                measured_iteration_latency=measured.iteration_latency,
+                predicted_after_remap=candidate.predicted_latency,
+                remapped=remap,
+                profile_iterations=measured.iterations,
+            ))
+            if not remap:
+                break
+            best = candidate
+        return best
+
+    def _profile(self, sdfg: Sdfg, state_factory, hierarchy: MemoryHierarchy,
+                 iterations: int):
+        """Execute a measurement window on the current configuration."""
+        program = build_program(sdfg)
+        engine = DataflowEngine(program, hierarchy=hierarchy,
+                                interconnect=self.interconnect)
+        state: MachineState = state_factory()
+        return engine.run(state, ExecutionOptions(max_iterations=iterations))
+
+    def _refine_weights(self, ldfg: Ldfg, hierarchy: MemoryHierarchy,
+                        run) -> None:
+        """Fold measured latencies back into the LDFG's node weights."""
+        for entry in ldfg.entries:
+            if entry.eliminated:
+                continue
+            if entry.instruction.is_memory:
+                amat = hierarchy.amat(entry.instruction.address)
+                if amat > 0:
+                    entry.op_latency = amat

@@ -1,0 +1,197 @@
+"""Cycle-approximate out-of-order core timing model.
+
+This is the gem5-baseline substitute: a dependency- and structure-limited
+scoreboard model of a BOOM-like quad-issue out-of-order core.  For every
+dynamic instruction it computes fetch, issue, completion, and commit cycles
+subject to:
+
+* fetch bandwidth and branch-misprediction front-end restarts (static
+  backward-taken/forward-not-taken prediction);
+* register dataflow (an instruction issues when its youngest producer
+  completes);
+* issue width per cycle and functional-unit pool contention;
+* reorder-buffer and load-store-queue occupancy;
+* memory latency from the shared :class:`~repro.mem.MemoryHierarchy` with
+  store→load forwarding inside the LSQ window.
+
+The model is *trace-driven*: it consumes the dynamic stream produced by
+:func:`repro.cpu.trace.collect_trace`, so wrong-path execution is approximated
+by the misprediction penalty alone.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from ..isa import Instruction, OpClass
+from ..mem import MemoryHierarchy, MemoryPorts
+from .config import CpuConfig
+from .counters import PerfCounters
+from .trace import Trace, TraceEntry
+
+__all__ = ["CoreResult", "OutOfOrderCore"]
+
+
+@dataclass(frozen=True)
+class CoreResult:
+    """Outcome of running a trace through the core model."""
+
+    cycles: int
+    counters: PerfCounters
+
+    @property
+    def ipc(self) -> float:
+        return self.counters.instructions / self.cycles if self.cycles else 0.0
+
+
+class _FuPools:
+    """Functional-unit availability, one arbiter per pool."""
+
+    def __init__(self, config: CpuConfig) -> None:
+        lat = config.latencies
+        self._pools = {
+            "int_alu": MemoryPorts(config.int_alu_units),
+            "int_mul": MemoryPorts(config.int_mul_units),
+            # Divide is unpipelined: the unit is busy for the full latency.
+            "int_div": MemoryPorts(config.int_mul_units,
+                                   issue_interval=lat.int_div),
+            "fp": MemoryPorts(config.fp_units),
+            "fp_div": MemoryPorts(config.fp_units,
+                                  issue_interval=lat.fp_div),
+            "mem": MemoryPorts(config.load_store_ports),
+            "branch": MemoryPorts(config.branch_units),
+        }
+
+    _CLASS_POOL = {
+        OpClass.INT_ALU: "int_alu",
+        OpClass.INT_MUL: "int_mul",
+        OpClass.INT_DIV: "int_div",
+        OpClass.FP_ADD: "fp",
+        OpClass.FP_MUL: "fp",
+        OpClass.FP_CMP: "fp",
+        OpClass.FP_CVT: "fp",
+        OpClass.FP_DIV: "fp_div",
+        OpClass.FP_SQRT: "fp_div",
+        OpClass.LOAD: "mem",
+        OpClass.STORE: "mem",
+        OpClass.BRANCH: "branch",
+        OpClass.JUMP: "branch",
+    }
+
+    def claim(self, op_class: OpClass, cycle: float) -> float:
+        """Earliest cycle at or after ``cycle`` with a free unit."""
+        return self._pools[self._CLASS_POOL[op_class]].request(cycle)
+
+
+def _predicts_taken(instr: Instruction) -> bool:
+    """Static BTFN prediction: backward transfers taken, forward not-taken."""
+    if instr.is_jump:
+        return True
+    return instr.imm < 0
+
+
+class OutOfOrderCore:
+    """Scoreboard-style timing model of one out-of-order core."""
+
+    def __init__(self, config: CpuConfig | None = None,
+                 hierarchy: MemoryHierarchy | None = None) -> None:
+        self.config = config if config is not None else CpuConfig()
+        self.hierarchy = (hierarchy if hierarchy is not None
+                          else MemoryHierarchy(self.config.memory))
+
+    def run(self, trace: Trace) -> CoreResult:
+        """Model the trace's execution; returns cycles and counters."""
+        cfg = self.config
+        counters = PerfCounters()
+        fus = _FuPools(cfg)
+        issue_slots: dict[int, int] = {}       # cycle -> issues so far
+        commit_slots: dict[int, int] = {}      # cycle -> commits so far
+        reg_ready: dict = {}                   # Register -> completion cycle
+        commit_cycle: deque[float] = deque()   # last rob_size commit cycles
+        lsq_window: deque[tuple[int, int, float]] = deque()  # (addr, size, done)
+        lsq_occupancy: deque[float] = deque()  # commit cycles of mem ops in LSQ
+        fetch_free = 0.0                       # front-end restart barrier
+        fetched_in_cycle: dict[int, int] = {}
+        last_commit = 0.0
+
+        for entry in trace:
+            instr = entry.instruction
+            counters.note(instr)
+
+            # -- fetch: bandwidth-limited, restarted by mispredictions ------
+            fetch = fetch_free
+            while fetched_in_cycle.get(int(fetch), 0) >= cfg.fetch_width:
+                fetch = int(fetch) + 1
+            fetched_in_cycle[int(fetch)] = fetched_in_cycle.get(int(fetch), 0) + 1
+            fetch_free = fetch
+
+            # -- dispatch: ROB occupancy ------------------------------------
+            dispatch = fetch + 1
+            if len(commit_cycle) >= cfg.rob_size:
+                dispatch = max(dispatch, commit_cycle[0])
+            if instr.is_memory and len(lsq_occupancy) >= cfg.lsq_size:
+                dispatch = max(dispatch, lsq_occupancy[0])
+
+            # -- issue: operands + issue width + FU pool --------------------
+            ready = dispatch
+            for reg in instr.sources:
+                ready = max(ready, reg_ready.get(reg, 0.0))
+            issue = ready
+            while issue_slots.get(int(issue), 0) >= cfg.issue_width:
+                issue = int(issue) + 1
+            if instr.op_class in _FuPools._CLASS_POOL:
+                issue = fus.claim(instr.op_class, issue)
+            issue_slots[int(issue)] = issue_slots.get(int(issue), 0) + 1
+
+            # -- execute ------------------------------------------------------
+            complete = issue + self._latency(entry, issue, lsq_window, counters)
+
+            # -- commit: in order, commit-width limited ----------------------
+            commit = max(complete, last_commit)
+            while commit_slots.get(int(commit), 0) >= cfg.commit_width:
+                commit = int(commit) + 1
+            commit_slots[int(commit)] = commit_slots.get(int(commit), 0) + 1
+            last_commit = commit
+
+            # -- bookkeeping --------------------------------------------------
+            dest = instr.destination
+            if dest is not None:
+                reg_ready[dest] = complete
+            commit_cycle.append(commit)
+            if len(commit_cycle) > cfg.rob_size:
+                commit_cycle.popleft()
+            if instr.is_memory:
+                lsq_occupancy.append(commit)
+                if len(lsq_occupancy) > cfg.lsq_size:
+                    lsq_occupancy.popleft()
+            if instr.is_control and entry.taken is not None:
+                if entry.taken != _predicts_taken(instr):
+                    counters.branch_mispredicts += 1
+                    fetch_free = max(fetch_free, complete + cfg.mispredict_penalty)
+
+        total_cycles = int(last_commit) + 1 if len(trace) else 0
+        counters.cycles = total_cycles
+        return CoreResult(cycles=total_cycles, counters=counters)
+
+    def _latency(self, entry: TraceEntry, issue: float,
+                 lsq_window: deque, counters: PerfCounters) -> float:
+        """Execution latency of one instruction starting at ``issue``."""
+        instr = entry.instruction
+        lat = self.config.latencies
+        if instr.is_load:
+            assert entry.address is not None
+            for addr, size, done in reversed(lsq_window):
+                if addr < entry.address + 4 and entry.address < addr + size:
+                    counters.load_forwards += 1
+                    return max(float(lat.store_issue), done - issue)
+            return float(self.hierarchy.access(entry.address, pc=entry.pc))
+        if instr.is_store:
+            assert entry.address is not None
+            self.hierarchy.access(entry.address, is_write=True, pc=entry.pc)
+            done = issue + lat.store_issue
+            lsq_window.append((entry.address, 4, done))
+            if len(lsq_window) > self.config.lsq_size:
+                lsq_window.popleft()
+            return float(lat.store_issue)
+        return float(lat.for_instruction(instr))

@@ -1,0 +1,88 @@
+"""Dynamic execution trace collection.
+
+The CPU timing model and the MESA frontend both consume the *dynamic*
+instruction stream — the in-order sequence of executed instructions together
+with the effective address of every memory operation and the direction of
+every branch.  :func:`collect_trace` runs the functional executor and records
+that stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..isa import Executor, Instruction, MachineState, Program
+
+__all__ = ["TraceEntry", "Trace", "collect_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One dynamically executed instruction."""
+
+    seq: int
+    instruction: Instruction
+    #: Effective address for loads/stores, else ``None``.
+    address: int | None = None
+    #: For control transfers: True if taken.  ``None`` for other classes.
+    taken: bool | None = None
+
+    @property
+    def pc(self) -> int:
+        return self.instruction.address
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A complete dynamic trace plus the final architectural state."""
+
+    entries: tuple[TraceEntry, ...]
+    final_state: MachineState
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    @property
+    def memory_entries(self) -> list[TraceEntry]:
+        return [e for e in self.entries if e.instruction.is_memory]
+
+    def pc_stream(self) -> list[int]:
+        """The sequence of executed PCs (input to the loop-stream detector)."""
+        return [e.pc for e in self.entries]
+
+
+def collect_trace(program: Program, state: MachineState | None = None,
+                  max_steps: int = 1_000_000) -> Trace:
+    """Execute a program, recording the dynamic stream with addresses.
+
+    Args:
+        program: the assembled program.
+        state: initial architectural state (a fresh one if omitted).
+        max_steps: safety bound on executed instructions.
+
+    Raises:
+        repro.isa.ExecutionError: on runaway loops or system instructions.
+    """
+    executor = Executor(program, state)
+    entries: list[TraceEntry] = []
+    start, end = program.base_address, program.end_address
+    while start <= executor.state.pc < end:
+        if len(entries) >= max_steps:
+            from ..isa import ExecutionError
+
+            raise ExecutionError(f"exceeded {max_steps} steps (runaway loop?)")
+        pc_before = executor.state.pc
+        instr = program.at(pc_before)
+        address = executor.effective_address(instr) if instr.is_memory else None
+        executor.step()
+        taken: bool | None = None
+        if instr.is_control:
+            taken = executor.state.pc != pc_before + 4
+        entries.append(TraceEntry(len(entries), instr, address, taken))
+    return Trace(tuple(entries), executor.state)

@@ -1,0 +1,64 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that output consistent and legible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_series", "format_value", "geomean"]
+
+
+def format_value(value: Any) -> str:
+    """Consistent scalar formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]],
+                 title: str | None = None) -> str:
+    """Render an aligned text table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(name: str, xs: Sequence[Any], ys: Sequence[Any],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render one figure series as aligned (x, y) pairs."""
+    rows = list(zip(xs, ys))
+    return render_table([x_label, y_label], rows, title=name)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (0 when empty or any non-positive value)."""
+    cleaned = [v for v in values if v > 0]
+    if not cleaned:
+        return 0.0
+    product = 1.0
+    for value in cleaned:
+        product *= value
+    return product ** (1.0 / len(cleaned))

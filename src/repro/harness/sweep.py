@@ -1,0 +1,144 @@
+"""Design-space sweeps: kernels × backend configurations.
+
+The paper motivates MESA's backend-agnostic model ("little assumption is
+made on the organization of the target spatial accelerator", §3) partly
+because it makes design-space exploration cheap.  This module is the
+library's sweep driver: run a set of kernels over a set of backend
+configurations and collect speedup, utilization, and mapping quality in one
+table — the engine behind ``examples/design_space.py`` and custom studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..accel import AcceleratorConfig
+from ..core import MesaController, MesaOptions
+from ..cpu import CpuConfig
+from ..workloads import build_kernel
+from .report import render_table
+
+__all__ = ["SweepPoint", "SweepResult", "sweep_backends", "pe_count_configs"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (kernel, configuration) measurement."""
+
+    kernel: str
+    config_name: str
+    accelerated: bool
+    speedup: float
+    cycles: float
+    tile_factor: int = 1
+    utilization: float = 0.0
+    iteration_latency: float = 0.0
+    reason: str = ""
+
+
+@dataclass
+class SweepResult:
+    """All measurements of one sweep, with lookup and rendering helpers."""
+
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def point(self, kernel: str, config_name: str) -> SweepPoint:
+        for candidate in self.points:
+            if (candidate.kernel == kernel
+                    and candidate.config_name == config_name):
+                return candidate
+        raise KeyError((kernel, config_name))
+
+    def kernels(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.kernel not in seen:
+                seen.append(point.kernel)
+        return seen
+
+    def configs(self) -> list[str]:
+        seen: list[str] = []
+        for point in self.points:
+            if point.config_name not in seen:
+                seen.append(point.config_name)
+        return seen
+
+    def best_config(self, kernel: str) -> SweepPoint:
+        """The configuration with the highest speedup for one kernel."""
+        candidates = [p for p in self.points if p.kernel == kernel]
+        if not candidates:
+            raise KeyError(kernel)
+        return max(candidates, key=lambda p: p.speedup)
+
+    def render(self, metric: str = "speedup") -> str:
+        """A kernels × configs matrix of one metric."""
+        configs = self.configs()
+        rows = []
+        for kernel in self.kernels():
+            row: list = [kernel]
+            for config_name in configs:
+                point = self.point(kernel, config_name)
+                if not point.accelerated:
+                    row.append("cpu")
+                else:
+                    row.append(getattr(point, metric))
+            rows.append(row)
+        return render_table(["kernel"] + configs, rows,
+                            title=f"Design-space sweep: {metric}")
+
+
+def sweep_backends(kernels: list[str], configs: list[AcceleratorConfig],
+                   iterations: int = 192,
+                   cpu_config: CpuConfig | None = None,
+                   options: MesaOptions | None = None) -> SweepResult:
+    """Run every kernel on every backend configuration.
+
+    Speedups are relative to the single-core OoO baseline (which is part of
+    each MESA run).  Kernels that fail to qualify or map on a configuration
+    appear with ``accelerated=False`` and speedup 1.0 — on the real system
+    they simply keep running on the CPU.
+    """
+    result = SweepResult()
+    for config in configs:
+        for name in kernels:
+            kernel = build_kernel(name, iterations=iterations)
+            controller = MesaController(config, cpu_config, options)
+            run = controller.execute(kernel.program, kernel.state_factory,
+                                     parallelizable=kernel.parallelizable)
+            if run.accelerated:
+                point = SweepPoint(
+                    kernel=name,
+                    config_name=config.name,
+                    accelerated=True,
+                    speedup=run.speedup_vs_single_core,
+                    cycles=run.total_cycles,
+                    tile_factor=run.loop_plan.tile_factor,
+                    utilization=(run.sdfg.utilization()
+                                 * run.loop_plan.tile_factor),
+                    iteration_latency=(run.runs[0].iteration_latency
+                                       if run.runs else 0.0),
+                )
+            else:
+                point = SweepPoint(
+                    kernel=name,
+                    config_name=config.name,
+                    accelerated=False,
+                    speedup=1.0,
+                    cycles=run.total_cycles,
+                    reason=run.reason,
+                )
+            result.points.append(point)
+    return result
+
+
+def pe_count_configs(pe_counts: tuple[int, ...] = (16, 32, 64, 128, 256),
+                     lsu_entries: int = 64,
+                     memory_ports: int = 8) -> list[AcceleratorConfig]:
+    """Configurations spanning PE counts with a fixed memory system."""
+    configs = []
+    for pes in pe_counts:
+        rows = max(2, pes // 8)
+        configs.append(AcceleratorConfig(
+            name=f"M-{pes}", rows=rows, cols=pes // rows,
+            lsu_entries=lsu_entries, memory_ports=memory_ports))
+    return configs

@@ -1,0 +1,342 @@
+"""A small RISC-V assembler for the supported RV32IMF subset.
+
+Workload kernels in :mod:`repro.workloads` are written as assembly text; this
+module turns that text into :class:`~repro.isa.instructions.Instruction`
+sequences with resolved addresses and branch offsets, the same form the MESA
+frontend would observe coming out of the fetch/decode stages.
+
+Supported syntax::
+
+    # comment,  // comment,  ; comment
+    loop:                       # labels
+        flw   fa0, 0(a0)        # loads:  op rd, imm(rs1)
+        fsub.s fa1, fa0, fs0    # R-type: op rd, rs1, rs2
+        addi  a0, a0, 4         # I-type: op rd, rs1, imm
+        sw    t0, -8(sp)        # stores: op rs2, imm(rs1)
+        bne   t1, zero, loop    # branches: op rs1, rs2, label|imm
+
+plus the common pseudo-instructions ``nop``, ``mv``, ``li``, ``j``, ``ret``,
+``fmv.s``, ``beqz``/``bnez``, ``neg``, and ``not``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .instructions import Instruction, OpClass, Opcode
+from .registers import Register, parse_register
+
+__all__ = ["AssemblyError", "Program", "assemble"]
+
+
+class AssemblyError(ValueError):
+    """Raised when assembly text cannot be parsed or resolved."""
+
+    def __init__(self, message: str, line_no: int | None = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+@dataclass(frozen=True)
+class Program:
+    """An assembled instruction sequence.
+
+    Attributes:
+        instructions: instructions in program order with resolved addresses.
+        labels: map of label name to byte address.
+        base_address: address of the first instruction.
+    """
+
+    instructions: tuple[Instruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+    base_address: int = 0x1000
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    @property
+    def end_address(self) -> int:
+        """Address one past the last instruction."""
+        return self.base_address + 4 * len(self.instructions)
+
+    def at(self, address: int) -> Instruction:
+        """Return the instruction at a byte address.
+
+        Raises:
+            KeyError: if the address is outside the program or misaligned.
+        """
+        offset = address - self.base_address
+        if offset % 4 != 0 or not 0 <= offset < 4 * len(self.instructions):
+            raise KeyError(f"no instruction at address {address:#x}")
+        return self.instructions[offset // 4]
+
+    def listing(self) -> str:
+        """A human-readable disassembly listing."""
+        addr_to_label = {addr: name for name, addr in self.labels.items()}
+        lines = []
+        for instr in self.instructions:
+            label = addr_to_label.get(instr.address)
+            if label is not None:
+                lines.append(f"{label}:")
+            lines.append(f"  {instr.address:#06x}:  {instr}")
+        return "\n".join(lines)
+
+
+_OPCODE_BY_NAME = {op.value: op for op in Opcode}
+
+# Operand shapes, keyed by opcode group.
+_NO_OPERANDS = {Opcode.NOP, Opcode.ECALL, Opcode.EBREAK, Opcode.FENCE}
+_RD_RS1_RS2 = {
+    op for op in Opcode
+    if op.value in (
+        "add sub sll slt sltu xor srl sra or and "
+        "mul mulh mulhsu mulhu div divu rem remu "
+        "addw subw sllw srlw sraw "
+        "fadd.s fsub.s fmul.s fdiv.s fmin.s fmax.s "
+        "fsgnj.s fsgnjn.s fsgnjx.s feq.s flt.s fle.s"
+    ).split()
+}
+_RD_RS1_IMM = {
+    op for op in Opcode
+    if op.value in (
+        "addi slti sltiu xori ori andi slli srli srai "
+        "addiw slliw srliw sraiw"
+    ).split()
+}
+_RD_RS1 = {
+    op for op in Opcode
+    if op.value in (
+        "fsqrt.s fcvt.s.w fcvt.s.wu fcvt.w.s fcvt.wu.s fmv.x.w fmv.w.x"
+    ).split()
+}
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def _parse_imm(token: str, line_no: int) -> int:
+    token = token.strip().lower().replace("_", "")
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"bad immediate {token!r}", line_no) from None
+
+
+def _split_operands(rest: str) -> list[str]:
+    return [tok.strip() for tok in rest.split(",") if tok.strip()]
+
+
+def _parse_mem_operand(token: str, line_no: int) -> tuple[int, Register]:
+    match = _MEM_RE.match(token.replace(" ", ""))
+    if not match:
+        raise AssemblyError(f"bad memory operand {token!r}", line_no)
+    imm = _parse_imm(match.group(1), line_no)
+    base = parse_register(match.group(2))
+    return imm, base
+
+
+def _expand_pseudo(mnemonic: str, operands: list[str],
+                   line_no: int) -> list[tuple[str, list[str]]]:
+    """Rewrite a pseudo-instruction into one or more base statements."""
+    if mnemonic == "mv":
+        _require(operands, 2, mnemonic, line_no)
+        return [("addi", [operands[0], operands[1], "0"])]
+    if mnemonic in ("li", "la"):
+        # la is an alias here: the assembler has no relocations, so symbol
+        # addresses must already be absolute constants.
+        _require(operands, 2, mnemonic, line_no)
+        value = _parse_imm(operands[1], line_no)
+        if -2048 <= value < 2048:
+            return [("addi", [operands[0], "zero", str(value)])]
+        if not -(1 << 31) <= value < (1 << 31):
+            raise AssemblyError(f"li immediate {value} exceeds 32 bits",
+                                line_no)
+        low = value & 0xFFF
+        if low >= 0x800:
+            low -= 0x1000
+        high = ((value - low) >> 12) & 0xFFFFF
+        statements = [("lui", [operands[0], str(high)])]
+        if low:
+            statements.append(("addi", [operands[0], operands[0], str(low)]))
+        return statements
+    if mnemonic == "j":
+        _require(operands, 1, mnemonic, line_no)
+        return [("jal", ["zero", operands[0]])]
+    if mnemonic == "ret":
+        _require(operands, 0, mnemonic, line_no)
+        return [("jalr", ["zero", "ra", "0"])]
+    if mnemonic == "beqz":
+        _require(operands, 2, mnemonic, line_no)
+        return [("beq", [operands[0], "zero", operands[1]])]
+    if mnemonic == "bnez":
+        _require(operands, 2, mnemonic, line_no)
+        return [("bne", [operands[0], "zero", operands[1]])]
+    if mnemonic == "neg":
+        _require(operands, 2, mnemonic, line_no)
+        return [("sub", [operands[0], "zero", operands[1]])]
+    if mnemonic == "not":
+        _require(operands, 2, mnemonic, line_no)
+        return [("xori", [operands[0], operands[1], "-1"])]
+    if mnemonic == "fmv.s":
+        _require(operands, 2, mnemonic, line_no)
+        return [("fsgnj.s", [operands[0], operands[1], operands[1]])]
+    if mnemonic == "fneg.s":
+        _require(operands, 2, mnemonic, line_no)
+        return [("fsgnjn.s", [operands[0], operands[1], operands[1]])]
+    if mnemonic == "fabs.s":
+        _require(operands, 2, mnemonic, line_no)
+        return [("fsgnjx.s", [operands[0], operands[1], operands[1]])]
+    return [(mnemonic, operands)]
+
+
+def _require(operands: list[str], count: int, mnemonic: str, line_no: int) -> None:
+    if len(operands) != count:
+        raise AssemblyError(
+            f"{mnemonic} expects {count} operand(s), got {len(operands)}", line_no
+        )
+
+
+_COMMENT_RE = re.compile(r"(#|//|;).*$")
+
+
+def assemble(text: str, base_address: int = 0x1000) -> Program:
+    """Assemble RISC-V text into a :class:`Program`.
+
+    Args:
+        text: assembly source (labels, instructions, comments).
+        base_address: byte address of the first instruction.
+
+    Raises:
+        AssemblyError: on syntax errors or unresolved labels.
+    """
+    # Pass 1: strip comments, collect labels and raw statements.
+    statements: list[tuple[int, str, list[str]]] = []  # (line_no, mnemonic, operands)
+    labels: dict[str, int] = {}
+    address = base_address
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = _COMMENT_RE.sub("", raw).strip()
+        while line:
+            label_match = re.match(r"^([A-Za-z_.][\w.]*)\s*:", line)
+            if label_match:
+                name = label_match.group(1)
+                if name in labels:
+                    raise AssemblyError(f"duplicate label {name!r}", line_no)
+                labels[name] = address
+                line = line[label_match.end():].strip()
+                continue
+            break
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        for expanded, expanded_operands in _expand_pseudo(mnemonic, operands,
+                                                          line_no):
+            if expanded not in _OPCODE_BY_NAME:
+                raise AssemblyError(f"unknown mnemonic {expanded!r}", line_no)
+            statements.append((line_no, expanded, expanded_operands))
+            address += 4
+
+    # Pass 2: build instructions with resolved branch offsets.
+    instructions: list[Instruction] = []
+    address = base_address
+    for line_no, mnemonic, operands in statements:
+        opcode = _OPCODE_BY_NAME[mnemonic]
+        instr = _build(opcode, operands, address, labels, line_no)
+        instructions.append(instr)
+        address += 4
+    return Program(tuple(instructions), labels, base_address)
+
+
+def _resolve_target(token: str, address: int, labels: dict[str, int],
+                    line_no: int) -> tuple[int, str | None]:
+    """Resolve a branch target token to a PC-relative offset."""
+    if token in labels:
+        return labels[token] - address, token
+    try:
+        return int(token, 0), None
+    except ValueError:
+        raise AssemblyError(f"undefined label {token!r}", line_no) from None
+
+
+def _build(opcode: Opcode, operands: list[str], address: int,
+           labels: dict[str, int], line_no: int) -> Instruction:
+    cls = Instruction(address, opcode).op_class  # class lookup only
+    if opcode in _NO_OPERANDS:
+        _require(operands, 0, opcode.value, line_no)
+        return Instruction(address, opcode)
+    if opcode in _RD_RS1_RS2:
+        _require(operands, 3, opcode.value, line_no)
+        return Instruction(
+            address, opcode,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            rs2=parse_register(operands[2]),
+        )
+    if opcode in _RD_RS1_IMM:
+        _require(operands, 3, opcode.value, line_no)
+        return Instruction(
+            address, opcode,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            imm=_parse_imm(operands[2], line_no),
+        )
+    if opcode in _RD_RS1:
+        _require(operands, 2, opcode.value, line_no)
+        return Instruction(
+            address, opcode,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+        )
+    if cls is OpClass.LOAD:
+        _require(operands, 2, opcode.value, line_no)
+        imm, base = _parse_mem_operand(operands[1], line_no)
+        return Instruction(
+            address, opcode, rd=parse_register(operands[0]), rs1=base, imm=imm
+        )
+    if cls is OpClass.STORE:
+        _require(operands, 2, opcode.value, line_no)
+        imm, base = _parse_mem_operand(operands[1], line_no)
+        return Instruction(
+            address, opcode, rs1=base, rs2=parse_register(operands[0]), imm=imm
+        )
+    if cls is OpClass.BRANCH:
+        _require(operands, 3, opcode.value, line_no)
+        offset, label = _resolve_target(operands[2], address, labels, line_no)
+        return Instruction(
+            address, opcode,
+            rs1=parse_register(operands[0]),
+            rs2=parse_register(operands[1]),
+            imm=offset, label=label,
+        )
+    if opcode is Opcode.JAL:
+        _require(operands, 2, opcode.value, line_no)
+        offset, label = _resolve_target(operands[1], address, labels, line_no)
+        return Instruction(
+            address, opcode, rd=parse_register(operands[0]), imm=offset, label=label
+        )
+    if opcode is Opcode.JALR:
+        _require(operands, 3, opcode.value, line_no)
+        return Instruction(
+            address, opcode,
+            rd=parse_register(operands[0]),
+            rs1=parse_register(operands[1]),
+            imm=_parse_imm(operands[2], line_no),
+        )
+    if opcode in (Opcode.LUI, Opcode.AUIPC):
+        _require(operands, 2, opcode.value, line_no)
+        return Instruction(
+            address, opcode,
+            rd=parse_register(operands[0]),
+            imm=_parse_imm(operands[1], line_no),
+        )
+    if cls is OpClass.SYSTEM:  # csrrw rd, csr, rs1 — modeled loosely
+        return Instruction(address, opcode)
+    raise AssemblyError(f"unhandled opcode {opcode.value!r}", line_no)

@@ -1,0 +1,400 @@
+"""Binary encoding and decoding of the supported RV32IMF subset.
+
+MESA's trace cache stores raw instruction words fetched from the I-cache; the
+LDFG builder then decodes them (paper Fig. 7, "Instr. Convert").  This module
+provides that machine-code layer: :func:`encode` produces the standard 32-bit
+RISC-V word for an :class:`~repro.isa.instructions.Instruction`, and
+:func:`decode` recovers the instruction from a word.
+
+All six base formats (R/I/S/B/U/J) plus the OP-FP R-type variants are
+implemented.  Round-tripping ``decode(encode(i))`` preserves every
+architecturally meaningful field.
+"""
+
+from __future__ import annotations
+
+from .instructions import Instruction, Opcode
+from .registers import Register, f, x
+
+__all__ = ["EncodingError", "encode", "decode"]
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction/word cannot be encoded/decoded."""
+
+
+# Major opcode fields (bits [6:0]).
+_OP = 0b0110011
+_OP_IMM = 0b0010011
+_LOAD = 0b0000011
+_STORE = 0b0100011
+_BRANCH = 0b1100011
+_JAL = 0b1101111
+_JALR = 0b1100111
+_LUI = 0b0110111
+_AUIPC = 0b0010111
+_LOAD_FP = 0b0000111
+_STORE_FP = 0b0100111
+_OP_FP = 0b1010011
+_SYSTEM = 0b1110011
+_MISC_MEM = 0b0001111
+_OP_32 = 0b0111011      # RV64I W-form register-register
+_OP_IMM_32 = 0b0011011  # RV64I W-form register-immediate
+
+# (major, funct3, funct7) per R-type opcode.
+_R_TYPE: dict[Opcode, tuple[int, int]] = {
+    Opcode.ADD: (0b000, 0b0000000),
+    Opcode.SUB: (0b000, 0b0100000),
+    Opcode.SLL: (0b001, 0b0000000),
+    Opcode.SLT: (0b010, 0b0000000),
+    Opcode.SLTU: (0b011, 0b0000000),
+    Opcode.XOR: (0b100, 0b0000000),
+    Opcode.SRL: (0b101, 0b0000000),
+    Opcode.SRA: (0b101, 0b0100000),
+    Opcode.OR: (0b110, 0b0000000),
+    Opcode.AND: (0b111, 0b0000000),
+    Opcode.MUL: (0b000, 0b0000001),
+    Opcode.MULH: (0b001, 0b0000001),
+    Opcode.MULHSU: (0b010, 0b0000001),
+    Opcode.MULHU: (0b011, 0b0000001),
+    Opcode.DIV: (0b100, 0b0000001),
+    Opcode.DIVU: (0b101, 0b0000001),
+    Opcode.REM: (0b110, 0b0000001),
+    Opcode.REMU: (0b111, 0b0000001),
+}
+_R_LOOKUP = {v: k for k, v in _R_TYPE.items()}
+
+_I_ALU: dict[Opcode, int] = {
+    Opcode.ADDI: 0b000,
+    Opcode.SLTI: 0b010,
+    Opcode.SLTIU: 0b011,
+    Opcode.XORI: 0b100,
+    Opcode.ORI: 0b110,
+    Opcode.ANDI: 0b111,
+}
+_I_ALU_LOOKUP = {v: k for k, v in _I_ALU.items()}
+
+_SHIFT_IMM: dict[Opcode, tuple[int, int]] = {
+    Opcode.SLLI: (0b001, 0b0000000),
+    Opcode.SRLI: (0b101, 0b0000000),
+    Opcode.SRAI: (0b101, 0b0100000),
+}
+
+_LOADS: dict[Opcode, int] = {
+    Opcode.LB: 0b000, Opcode.LH: 0b001, Opcode.LW: 0b010,
+    Opcode.LBU: 0b100, Opcode.LHU: 0b101,
+    Opcode.LD: 0b011, Opcode.LWU: 0b110,
+}
+_LOADS_LOOKUP = {v: k for k, v in _LOADS.items()}
+
+_STORES: dict[Opcode, int] = {Opcode.SB: 0b000, Opcode.SH: 0b001,
+                              Opcode.SW: 0b010, Opcode.SD: 0b011}
+_STORES_LOOKUP = {v: k for k, v in _STORES.items()}
+
+_R_TYPE_32: dict[Opcode, tuple[int, int]] = {
+    Opcode.ADDW: (0b000, 0b0000000),
+    Opcode.SUBW: (0b000, 0b0100000),
+    Opcode.SLLW: (0b001, 0b0000000),
+    Opcode.SRLW: (0b101, 0b0000000),
+    Opcode.SRAW: (0b101, 0b0100000),
+}
+_R_TYPE_32_LOOKUP = {v: k for k, v in _R_TYPE_32.items()}
+
+_SHIFT_IMM_32: dict[Opcode, tuple[int, int]] = {
+    Opcode.SLLIW: (0b001, 0b0000000),
+    Opcode.SRLIW: (0b101, 0b0000000),
+    Opcode.SRAIW: (0b101, 0b0100000),
+}
+
+_BRANCHES: dict[Opcode, int] = {
+    Opcode.BEQ: 0b000, Opcode.BNE: 0b001, Opcode.BLT: 0b100,
+    Opcode.BGE: 0b101, Opcode.BLTU: 0b110, Opcode.BGEU: 0b111,
+}
+_BRANCHES_LOOKUP = {v: k for k, v in _BRANCHES.items()}
+
+# OP-FP instructions: funct7, plus funct3 or rs2-field discriminators.
+_FP_ARITH: dict[Opcode, int] = {
+    Opcode.FADD_S: 0b0000000,
+    Opcode.FSUB_S: 0b0000100,
+    Opcode.FMUL_S: 0b0001000,
+    Opcode.FDIV_S: 0b0001100,
+}
+_FP_ARITH_LOOKUP = {v: k for k, v in _FP_ARITH.items()}
+
+_FP_SGNJ: dict[Opcode, int] = {
+    Opcode.FSGNJ_S: 0b000, Opcode.FSGNJN_S: 0b001, Opcode.FSGNJX_S: 0b010,
+}
+_FP_SGNJ_LOOKUP = {v: k for k, v in _FP_SGNJ.items()}
+
+_FP_MINMAX: dict[Opcode, int] = {Opcode.FMIN_S: 0b000, Opcode.FMAX_S: 0b001}
+_FP_CMP: dict[Opcode, int] = {
+    Opcode.FLE_S: 0b000, Opcode.FLT_S: 0b001, Opcode.FEQ_S: 0b010,
+}
+_FP_CMP_LOOKUP = {v: k for k, v in _FP_CMP.items()}
+
+_ROUND_MODE = 0b000  # RNE; rounding mode is not modeled
+
+
+def _reg_num(reg: Register | None) -> int:
+    return 0 if reg is None else reg.index
+
+
+def _check_range(value: int, bits: int, what: str) -> int:
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1))
+    if not low <= value < high:
+        raise EncodingError(f"{what} {value} does not fit in {bits} bits")
+    return value & ((1 << bits) - 1)
+
+
+def _sext(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+def _r(major: int, funct3: int, funct7: int, rd: int, rs1: int, rs2: int) -> int:
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | major
+
+
+def _i(major: int, funct3: int, rd: int, rs1: int, imm: int) -> int:
+    return (imm << 20) | (rs1 << 15) | (funct3 << 12) | (rd << 7) | major
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction into its 32-bit RISC-V machine word."""
+    op = instr.opcode
+    rd, rs1, rs2 = _reg_num(instr.rd), _reg_num(instr.rs1), _reg_num(instr.rs2)
+    imm = instr.imm
+
+    if op is Opcode.NOP:
+        return _i(_OP_IMM, 0b000, 0, 0, 0)  # addi x0, x0, 0
+    if op in _R_TYPE:
+        funct3, funct7 = _R_TYPE[op]
+        return _r(_OP, funct3, funct7, rd, rs1, rs2)
+    if op in _R_TYPE_32:
+        funct3, funct7 = _R_TYPE_32[op]
+        return _r(_OP_32, funct3, funct7, rd, rs1, rs2)
+    if op in _I_ALU:
+        return _i(_OP_IMM, _I_ALU[op], rd, rs1, _check_range(imm, 12, "immediate"))
+    if op is Opcode.ADDIW:
+        return _i(_OP_IMM_32, 0b000, rd, rs1, _check_range(imm, 12, "immediate"))
+    if op in _SHIFT_IMM_32:
+        funct3, funct7 = _SHIFT_IMM_32[op]
+        if not 0 <= imm < 32:
+            raise EncodingError(f"shift amount {imm} out of range")
+        return _r(_OP_IMM_32, funct3, funct7, rd, rs1, imm)
+    if op in _SHIFT_IMM:
+        funct3, funct7 = _SHIFT_IMM[op]
+        if not 0 <= imm < 32:
+            raise EncodingError(f"shift amount {imm} out of range")
+        return _r(_OP_IMM, funct3, funct7, rd, rs1, imm)
+    if op in _LOADS:
+        return _i(_LOAD, _LOADS[op], rd, rs1, _check_range(imm, 12, "offset"))
+    if op is Opcode.FLW:
+        return _i(_LOAD_FP, 0b010, rd, rs1, _check_range(imm, 12, "offset"))
+    if op in _STORES or op is Opcode.FSW:
+        major = _STORE_FP if op is Opcode.FSW else _STORE
+        funct3 = 0b010 if op is Opcode.FSW else _STORES[op]
+        uimm = _check_range(imm, 12, "offset")
+        return (
+            ((uimm >> 5) << 25) | (rs2 << 20) | (rs1 << 15)
+            | (funct3 << 12) | ((uimm & 0x1F) << 7) | major
+        )
+    if op in _BRANCHES:
+        uimm = _check_range(imm, 13, "branch offset")
+        if uimm & 1:
+            raise EncodingError("branch offset must be even")
+        return (
+            ((uimm >> 12) & 1) << 31 | ((uimm >> 5) & 0x3F) << 25
+            | rs2 << 20 | rs1 << 15 | _BRANCHES[op] << 12
+            | ((uimm >> 1) & 0xF) << 8 | ((uimm >> 11) & 1) << 7 | _BRANCH
+        )
+    if op is Opcode.JAL:
+        uimm = _check_range(imm, 21, "jump offset")
+        if uimm & 1:
+            raise EncodingError("jump offset must be even")
+        return (
+            ((uimm >> 20) & 1) << 31 | ((uimm >> 1) & 0x3FF) << 21
+            | ((uimm >> 11) & 1) << 20 | ((uimm >> 12) & 0xFF) << 12
+            | rd << 7 | _JAL
+        )
+    if op is Opcode.JALR:
+        return _i(_JALR, 0b000, rd, rs1, _check_range(imm, 12, "offset"))
+    if op in (Opcode.LUI, Opcode.AUIPC):
+        major = _LUI if op is Opcode.LUI else _AUIPC
+        if not 0 <= imm < (1 << 20):
+            raise EncodingError(f"upper immediate {imm} out of range")
+        return (imm << 12) | (rd << 7) | major
+    if op in _FP_ARITH:
+        return _r(_OP_FP, _ROUND_MODE, _FP_ARITH[op], rd, rs1, rs2)
+    if op is Opcode.FSQRT_S:
+        return _r(_OP_FP, _ROUND_MODE, 0b0101100, rd, rs1, 0)
+    if op in _FP_SGNJ:
+        return _r(_OP_FP, _FP_SGNJ[op], 0b0010000, rd, rs1, rs2)
+    if op in _FP_MINMAX:
+        return _r(_OP_FP, _FP_MINMAX[op], 0b0010100, rd, rs1, rs2)
+    if op in _FP_CMP:
+        return _r(_OP_FP, _FP_CMP[op], 0b1010000, rd, rs1, rs2)
+    if op is Opcode.FCVT_W_S:
+        return _r(_OP_FP, _ROUND_MODE, 0b1100000, rd, rs1, 0)
+    if op is Opcode.FCVT_WU_S:
+        return _r(_OP_FP, _ROUND_MODE, 0b1100000, rd, rs1, 1)
+    if op is Opcode.FCVT_S_W:
+        return _r(_OP_FP, _ROUND_MODE, 0b1101000, rd, rs1, 0)
+    if op is Opcode.FCVT_S_WU:
+        return _r(_OP_FP, _ROUND_MODE, 0b1101000, rd, rs1, 1)
+    if op is Opcode.FMV_X_W:
+        return _r(_OP_FP, 0b000, 0b1110000, rd, rs1, 0)
+    if op is Opcode.FMV_W_X:
+        return _r(_OP_FP, 0b000, 0b1111000, rd, rs1, 0)
+    if op is Opcode.ECALL:
+        return _i(_SYSTEM, 0b000, 0, 0, 0)
+    if op is Opcode.EBREAK:
+        return _i(_SYSTEM, 0b000, 0, 0, 1)
+    if op is Opcode.FENCE:
+        return _i(_MISC_MEM, 0b000, 0, 0, 0)
+    if op in (Opcode.CSRRW, Opcode.CSRRS, Opcode.CSRRC):
+        funct3 = {Opcode.CSRRW: 0b001, Opcode.CSRRS: 0b010, Opcode.CSRRC: 0b011}[op]
+        return _i(_SYSTEM, funct3, rd, rs1, instr.imm & 0xFFF)
+    raise EncodingError(f"cannot encode opcode {op.value!r}")
+
+
+def decode(word: int, address: int = 0) -> Instruction:
+    """Decode a 32-bit machine word into an :class:`Instruction`.
+
+    Args:
+        word: the instruction word.
+        address: byte address to attach to the decoded instruction.
+
+    Raises:
+        EncodingError: if the word is not a supported instruction.
+    """
+    major = word & 0x7F
+    rd_n = (word >> 7) & 0x1F
+    funct3 = (word >> 12) & 0x7
+    rs1_n = (word >> 15) & 0x1F
+    rs2_n = (word >> 20) & 0x1F
+    funct7 = (word >> 25) & 0x7F
+    imm_i = _sext(word >> 20, 12)
+
+    if major == _OP:
+        key = (funct3, funct7)
+        if key not in _R_LOOKUP:
+            raise EncodingError(f"unknown R-type funct {key}")
+        return Instruction(address, _R_LOOKUP[key], rd=x(rd_n), rs1=x(rs1_n), rs2=x(rs2_n))
+    if major == _OP_32:
+        key = (funct3, funct7)
+        if key not in _R_TYPE_32_LOOKUP:
+            raise EncodingError(f"unknown OP-32 funct {key}")
+        return Instruction(address, _R_TYPE_32_LOOKUP[key],
+                           rd=x(rd_n), rs1=x(rs1_n), rs2=x(rs2_n))
+    if major == _OP_IMM_32:
+        if funct3 == 0b000:
+            return Instruction(address, Opcode.ADDIW, rd=x(rd_n),
+                               rs1=x(rs1_n), imm=imm_i)
+        if funct3 == 0b001:
+            return Instruction(address, Opcode.SLLIW, rd=x(rd_n),
+                               rs1=x(rs1_n), imm=rs2_n)
+        if funct3 == 0b101:
+            op = Opcode.SRAIW if funct7 == 0b0100000 else Opcode.SRLIW
+            return Instruction(address, op, rd=x(rd_n), rs1=x(rs1_n),
+                               imm=rs2_n)
+        raise EncodingError(f"unknown OP-IMM-32 funct3 {funct3:#b}")
+    if major == _OP_IMM:
+        if funct3 in (0b001, 0b101):
+            shamt = rs2_n
+            if funct3 == 0b001:
+                op = Opcode.SLLI
+            else:
+                op = Opcode.SRAI if funct7 == 0b0100000 else Opcode.SRLI
+            return Instruction(address, op, rd=x(rd_n), rs1=x(rs1_n), imm=shamt)
+        op = _I_ALU_LOOKUP[funct3]
+        if op is Opcode.ADDI and rd_n == 0 and rs1_n == 0 and imm_i == 0:
+            return Instruction(address, Opcode.NOP)
+        return Instruction(address, op, rd=x(rd_n), rs1=x(rs1_n), imm=imm_i)
+    if major == _LOAD:
+        if funct3 not in _LOADS_LOOKUP:
+            raise EncodingError(f"unknown load funct3 {funct3:#b}")
+        return Instruction(address, _LOADS_LOOKUP[funct3], rd=x(rd_n), rs1=x(rs1_n), imm=imm_i)
+    if major == _LOAD_FP:
+        if funct3 != 0b010:
+            raise EncodingError("only FLW is supported")
+        return Instruction(address, Opcode.FLW, rd=f(rd_n), rs1=x(rs1_n), imm=imm_i)
+    if major in (_STORE, _STORE_FP):
+        imm = _sext(((word >> 25) << 5) | rd_n, 12)
+        if major == _STORE_FP:
+            if funct3 != 0b010:
+                raise EncodingError("only FSW is supported")
+            return Instruction(address, Opcode.FSW, rs1=x(rs1_n), rs2=f(rs2_n), imm=imm)
+        if funct3 not in _STORES_LOOKUP:
+            raise EncodingError(f"unknown store funct3 {funct3:#b}")
+        return Instruction(address, _STORES_LOOKUP[funct3], rs1=x(rs1_n), rs2=x(rs2_n), imm=imm)
+    if major == _BRANCH:
+        imm = _sext(
+            (((word >> 31) & 1) << 12) | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5) | (((word >> 8) & 0xF) << 1),
+            13,
+        )
+        if funct3 not in _BRANCHES_LOOKUP:
+            raise EncodingError(f"unknown branch funct3 {funct3:#b}")
+        return Instruction(address, _BRANCHES_LOOKUP[funct3], rs1=x(rs1_n), rs2=x(rs2_n), imm=imm)
+    if major == _JAL:
+        imm = _sext(
+            (((word >> 31) & 1) << 20) | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11) | (((word >> 21) & 0x3FF) << 1),
+            21,
+        )
+        return Instruction(address, Opcode.JAL, rd=x(rd_n), imm=imm)
+    if major == _JALR:
+        return Instruction(address, Opcode.JALR, rd=x(rd_n), rs1=x(rs1_n), imm=imm_i)
+    if major in (_LUI, _AUIPC):
+        op = Opcode.LUI if major == _LUI else Opcode.AUIPC
+        return Instruction(address, op, rd=x(rd_n), imm=(word >> 12) & 0xFFFFF)
+    if major == _OP_FP:
+        return _decode_fp(word, address, rd_n, funct3, rs1_n, rs2_n, funct7)
+    if major == _SYSTEM:
+        if funct3 == 0b000:
+            op = Opcode.EBREAK if (word >> 20) & 0xFFF == 1 else Opcode.ECALL
+            return Instruction(address, op)
+        csr_ops = {0b001: Opcode.CSRRW, 0b010: Opcode.CSRRS, 0b011: Opcode.CSRRC}
+        if funct3 in csr_ops:
+            return Instruction(address, csr_ops[funct3], rd=x(rd_n), rs1=x(rs1_n),
+                               imm=(word >> 20) & 0xFFF)
+        raise EncodingError(f"unknown system funct3 {funct3:#b}")
+    if major == _MISC_MEM:
+        return Instruction(address, Opcode.FENCE)
+    raise EncodingError(f"unknown major opcode {major:#09b}")
+
+
+def _decode_fp(word: int, address: int, rd_n: int, funct3: int,
+               rs1_n: int, rs2_n: int, funct7: int) -> Instruction:
+    if funct7 in _FP_ARITH_LOOKUP:
+        op = _FP_ARITH_LOOKUP[funct7]
+        return Instruction(address, op, rd=f(rd_n), rs1=f(rs1_n), rs2=f(rs2_n))
+    if funct7 == 0b0101100:
+        return Instruction(address, Opcode.FSQRT_S, rd=f(rd_n), rs1=f(rs1_n))
+    if funct7 == 0b0010000:
+        op = _FP_SGNJ_LOOKUP.get(funct3)
+        if op is None:
+            raise EncodingError(f"unknown fsgnj funct3 {funct3:#b}")
+        return Instruction(address, op, rd=f(rd_n), rs1=f(rs1_n), rs2=f(rs2_n))
+    if funct7 == 0b0010100:
+        if funct3 not in (0b000, 0b001):
+            raise EncodingError(f"unknown fmin/fmax funct3 {funct3:#b}")
+        op = Opcode.FMIN_S if funct3 == 0b000 else Opcode.FMAX_S
+        return Instruction(address, op, rd=f(rd_n), rs1=f(rs1_n), rs2=f(rs2_n))
+    if funct7 == 0b1010000:
+        op = _FP_CMP_LOOKUP.get(funct3)
+        if op is None:
+            raise EncodingError(f"unknown fp compare funct3 {funct3:#b}")
+        return Instruction(address, op, rd=x(rd_n), rs1=f(rs1_n), rs2=f(rs2_n))
+    if funct7 == 0b1100000:
+        op = Opcode.FCVT_W_S if rs2_n == 0 else Opcode.FCVT_WU_S
+        return Instruction(address, op, rd=x(rd_n), rs1=f(rs1_n))
+    if funct7 == 0b1101000:
+        op = Opcode.FCVT_S_W if rs2_n == 0 else Opcode.FCVT_S_WU
+        return Instruction(address, op, rd=f(rd_n), rs1=x(rs1_n))
+    if funct7 == 0b1110000:
+        return Instruction(address, Opcode.FMV_X_W, rd=x(rd_n), rs1=f(rs1_n))
+    if funct7 == 0b1111000:
+        return Instruction(address, Opcode.FMV_W_X, rd=f(rd_n), rs1=x(rs1_n))
+    raise EncodingError(f"unknown OP-FP funct7 {funct7:#09b}")

@@ -1,0 +1,118 @@
+"""RISC-V register model: integer and floating-point register files.
+
+MESA renames *architectural* registers to *instruction addresses* when it
+builds the logical dataflow graph (paper §3.2), so the library needs a precise
+notion of an architectural register identity.  A register is represented by a
+:class:`Register` value object that records its file (``x`` or ``f``) and
+index; ABI aliases (``a0``, ``t1``, ``fs2``, ...) are accepted everywhere a
+register name is parsed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = [
+    "RegFile",
+    "Register",
+    "INT_ABI_NAMES",
+    "FP_ABI_NAMES",
+    "parse_register",
+    "x",
+    "f",
+    "ZERO",
+]
+
+
+class RegFile(Enum):
+    """Which architectural register file a register belongs to."""
+
+    INT = "x"
+    FP = "f"
+
+
+#: ABI names for the 32 integer registers, indexed by register number.
+INT_ABI_NAMES: tuple[str, ...] = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+#: ABI names for the 32 floating-point registers, indexed by register number.
+FP_ABI_NAMES: tuple[str, ...] = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+_INT_BY_NAME = {name: i for i, name in enumerate(INT_ABI_NAMES)}
+_FP_BY_NAME = {name: i for i, name in enumerate(FP_ABI_NAMES)}
+# ``fp`` is the conventional alias for ``s0``/``x8``.
+_INT_BY_NAME["fp"] = 8
+
+
+@dataclass(frozen=True)
+class Register:
+    """An architectural register: a (file, index) pair.
+
+    Instances are immutable and hashable so they can key rename tables.
+    """
+
+    file: RegFile
+    index: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < 32:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    @property
+    def is_zero(self) -> bool:
+        """True for ``x0``, which always reads zero and ignores writes."""
+        return self.file is RegFile.INT and self.index == 0
+
+    @property
+    def abi_name(self) -> str:
+        """The conventional ABI name (``a0``, ``ft3``, ...)."""
+        names = INT_ABI_NAMES if self.file is RegFile.INT else FP_ABI_NAMES
+        return names[self.index]
+
+    def __str__(self) -> str:
+        return self.abi_name
+
+    def __repr__(self) -> str:
+        return f"Register({self.file.value}{self.index}={self.abi_name})"
+
+
+def x(index: int) -> Register:
+    """Build an integer register ``x<index>``."""
+    return Register(RegFile.INT, index)
+
+
+def f(index: int) -> Register:
+    """Build a floating-point register ``f<index>``."""
+    return Register(RegFile.FP, index)
+
+
+#: The hard-wired zero register ``x0``.
+ZERO = x(0)
+
+
+def parse_register(name: str) -> Register:
+    """Parse a register name in either raw (``x5``/``f12``) or ABI form.
+
+    Raises:
+        ValueError: if the name does not denote a RISC-V register.
+    """
+    name = name.strip().lower()
+    if name in _INT_BY_NAME:
+        return x(_INT_BY_NAME[name])
+    if name in _FP_BY_NAME:
+        return f(_FP_BY_NAME[name])
+    if len(name) >= 2 and name[0] in "xf" and name[1:].isdigit():
+        index = int(name[1:])
+        if 0 <= index < 32:
+            return x(index) if name[0] == "x" else f(index)
+    raise ValueError(f"not a RISC-V register: {name!r}")

@@ -1,0 +1,472 @@
+"""Functional (architectural) semantics of the supported RISC-V subset.
+
+This executor computes *what* a program does — register and memory values and
+the dynamic control-flow path — independent of *how long* it takes.  It is the
+reference model the rest of the library is validated against:
+
+* workload kernels are checked to compute the intended result;
+* the accelerator's dataflow engine must produce the same architectural state
+  as running the loop iterations on this executor (tested in
+  ``tests/integration``);
+* the CPU timing model consumes the dynamic instruction trace it generates.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol
+
+from .assembler import Program
+from .instructions import Instruction, Opcode
+from .registers import RegFile, Register
+
+__all__ = [
+    "MemoryLike",
+    "ExecutionError",
+    "MachineState",
+    "Executor",
+    "run",
+    "apply_operation",
+    "branch_taken",
+]
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _ts(value: int, xlen: int = 32) -> int:
+    """Truncate to xlen bits, interpreted as signed."""
+    value &= (1 << xlen) - 1
+    sign = 1 << (xlen - 1)
+    return value - (1 << xlen) if value >= sign else value
+
+
+def _tu(value: int, xlen: int = 32) -> int:
+    """Truncate to xlen bits, interpreted as unsigned."""
+    return value & ((1 << xlen) - 1)
+
+
+class MemoryLike(Protocol):
+    """The memory interface the executor needs (satisfied by repro.mem)."""
+
+    def load(self, address: int, size: int) -> int:
+        """Read ``size`` bytes at ``address`` as an unsigned little-endian int."""
+        ...
+
+    def store(self, address: int, size: int, value: int) -> None:
+        """Write ``size`` low bytes of ``value`` at ``address``."""
+        ...
+
+
+class ExecutionError(RuntimeError):
+    """Raised on unexecutable instructions (system ops, runaway loops)."""
+
+
+def _f32(value: float) -> float:
+    """Round a Python float to single precision (the accelerator is FP32)."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+class _DictMemory:
+    """Sparse byte-addressed memory used when no hierarchy is supplied."""
+
+    def __init__(self) -> None:
+        self._bytes: dict[int, int] = {}
+
+    def load(self, address: int, size: int) -> int:
+        return int.from_bytes(
+            bytes(self._bytes.get(address + i, 0) for i in range(size)), "little"
+        )
+
+    def store(self, address: int, size: int, value: int) -> None:
+        for i, byte in enumerate(int(value).to_bytes(size, "little", signed=False)):
+            self._bytes[address + i] = byte
+
+
+@dataclass
+class MachineState:
+    """Architectural state: PC, integer/FP register files, and memory.
+
+    ``xlen`` selects the integer register width: 32 (RV32, the default) or
+    64 (RV64I, the other ISA variant MESA's hardware supports).
+    """
+
+    pc: int = 0
+    memory: MemoryLike = field(default_factory=_DictMemory)
+    xlen: int = 32
+    _int_regs: list[int] = field(default_factory=lambda: [0] * 32)
+    _fp_regs: list[float] = field(default_factory=lambda: [0.0] * 32)
+
+    def __post_init__(self) -> None:
+        if self.xlen not in (32, 64):
+            raise ValueError(f"xlen must be 32 or 64, got {self.xlen}")
+
+    def read(self, reg: Register) -> int | float:
+        """Read a register (``x0`` always reads 0)."""
+        if reg.file is RegFile.INT:
+            return 0 if reg.index == 0 else self._int_regs[reg.index]
+        return self._fp_regs[reg.index]
+
+    def write(self, reg: Register, value: int | float) -> None:
+        """Write a register (writes to ``x0`` are discarded)."""
+        if reg.file is RegFile.INT:
+            if reg.index != 0:
+                self._int_regs[reg.index] = _ts(int(value), self.xlen)
+        else:
+            self._fp_regs[reg.index] = _f32(float(value))
+
+    def snapshot(self) -> dict[str, int | float]:
+        """Register values keyed by ABI name (for test assertions)."""
+        from .registers import FP_ABI_NAMES, INT_ABI_NAMES
+
+        regs: dict[str, int | float] = {}
+        for i, name in enumerate(INT_ABI_NAMES):
+            regs[name] = 0 if i == 0 else self._int_regs[i]
+        for i, name in enumerate(FP_ABI_NAMES):
+            regs[name] = self._fp_regs[i]
+        return regs
+
+
+def _div(a: int, b: int, xlen: int = 32) -> int:
+    if b == 0:
+        return -1
+    if a == -(1 << (xlen - 1)) and b == -1:
+        return a
+    return int(a / b)  # truncating division, per the RISC-V spec
+
+
+def _rem(a: int, b: int, xlen: int = 32) -> int:
+    if b == 0:
+        return a
+    if a == -(1 << (xlen - 1)) and b == -1:
+        return 0
+    return a - _div(a, b, xlen) * b
+
+
+_LOAD_SIZES = {Opcode.LB: 1, Opcode.LBU: 1, Opcode.LH: 2, Opcode.LHU: 2,
+               Opcode.LW: 4, Opcode.FLW: 4, Opcode.LWU: 4, Opcode.LD: 8}
+#: Loads whose value is sign-extended to the register width.
+_SIGNED_LOADS = frozenset({Opcode.LB, Opcode.LH, Opcode.LW, Opcode.LD})
+_STORE_SIZES = {Opcode.SB: 1, Opcode.SH: 2, Opcode.SW: 4, Opcode.FSW: 4,
+                Opcode.SD: 8}
+
+
+class Executor:
+    """Steps a :class:`MachineState` through a :class:`Program`."""
+
+    def __init__(self, program: Program, state: MachineState | None = None) -> None:
+        self.program = program
+        self.state = state if state is not None else MachineState(pc=program.base_address)
+        self.instret = 0  # dynamic instruction count
+
+    def effective_address(self, instr: Instruction) -> int:
+        """The memory address a load/store would access in the current state."""
+        if not instr.is_memory:
+            raise ValueError(f"{instr} is not a memory instruction")
+        assert instr.rs1 is not None
+        return _tu(int(self.state.read(instr.rs1)) + instr.imm,
+                   self.state.xlen)
+
+    def step(self) -> Instruction:
+        """Execute the instruction at PC; returns the executed instruction."""
+        instr = self.program.at(self.state.pc)
+        next_pc = self.state.pc + 4
+        taken_pc = self._execute(instr)
+        self.state.pc = taken_pc if taken_pc is not None else next_pc
+        self.instret += 1
+        return instr
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until PC leaves the program; returns instructions executed.
+
+        Raises:
+            ExecutionError: if ``max_steps`` is exceeded.
+        """
+        steps = 0
+        start = self.program.base_address
+        while start <= self.state.pc < self.program.end_address:
+            self.step()
+            steps += 1
+            if steps > max_steps:
+                raise ExecutionError(f"exceeded {max_steps} steps (runaway loop?)")
+        return steps
+
+    def trace(self, max_steps: int = 1_000_000) -> Iterator[Instruction]:
+        """Yield the dynamic instruction stream until the program exits."""
+        steps = 0
+        start = self.program.base_address
+        while start <= self.state.pc < self.program.end_address:
+            yield self.step()
+            steps += 1
+            if steps > max_steps:
+                raise ExecutionError(f"exceeded {max_steps} steps (runaway loop?)")
+
+    # -- per-opcode semantics -------------------------------------------------
+
+    def _execute(self, instr: Instruction) -> int | None:
+        """Apply an instruction's effects; return the taken PC if a transfer."""
+        op = instr.opcode
+        st = self.state
+        rint = lambda r: int(st.read(r))  # noqa: E731
+        rflt = lambda r: float(st.read(r))  # noqa: E731
+
+        if op is Opcode.NOP:
+            return None
+        if op in _INT_W_BINOPS:
+            assert instr.rd and instr.rs1 and instr.rs2
+            self._require_rv64(instr)
+            st.write(instr.rd, _INT_W_BINOPS[op](rint(instr.rs1),
+                                                 rint(instr.rs2)))
+            return None
+        if op in _INT_W_IMMOPS:
+            assert instr.rd and instr.rs1
+            self._require_rv64(instr)
+            st.write(instr.rd, _INT_W_IMMOPS[op](rint(instr.rs1), instr.imm))
+            return None
+        if op in _INT_BINOPS:
+            assert instr.rd and instr.rs1 and instr.rs2
+            st.write(instr.rd, _INT_BINOPS[op](rint(instr.rs1),
+                                               rint(instr.rs2), st.xlen))
+            return None
+        if op in _INT_IMMOPS:
+            assert instr.rd and instr.rs1
+            st.write(instr.rd, _INT_IMMOPS[op](rint(instr.rs1), instr.imm,
+                                               st.xlen))
+            return None
+        if op is Opcode.LUI:
+            assert instr.rd
+            st.write(instr.rd, _ts(instr.imm << 12, 32))
+            return None
+        if op is Opcode.AUIPC:
+            assert instr.rd
+            st.write(instr.rd, _ts(instr.address + (instr.imm << 12), st.xlen))
+            return None
+        if instr.is_load:
+            assert instr.rd
+            if instr.requires_rv64:
+                self._require_rv64(instr)
+            addr = self.effective_address(instr)
+            size = _LOAD_SIZES[op]
+            raw = st.memory.load(addr, size)
+            if op is Opcode.FLW:
+                st.write(instr.rd, struct.unpack("<f", raw.to_bytes(4, "little"))[0])
+            elif op in _SIGNED_LOADS:
+                st.write(instr.rd, _sext_bits(raw, size * 8))
+            else:
+                st.write(instr.rd, raw)
+            return None
+        if instr.is_store:
+            assert instr.rs2
+            if instr.requires_rv64:
+                self._require_rv64(instr)
+            addr = self.effective_address(instr)
+            size = _STORE_SIZES[op]
+            if op is Opcode.FSW:
+                raw = int.from_bytes(struct.pack("<f", rflt(instr.rs2)), "little")
+            else:
+                raw = rint(instr.rs2) & ((1 << (size * 8)) - 1)
+            st.memory.store(addr, size, raw)
+            return None
+        if instr.is_branch:
+            assert instr.rs1 and instr.rs2 is not None
+            a, b = rint(instr.rs1), rint(instr.rs2)
+            if _BRANCH_CONDS[op](a, b, st.xlen):
+                return instr.address + instr.imm
+            return None
+        if op is Opcode.JAL:
+            assert instr.rd is not None
+            st.write(instr.rd, instr.address + 4)
+            return instr.address + instr.imm
+        if op is Opcode.JALR:
+            assert instr.rd is not None and instr.rs1 is not None
+            target = (rint(instr.rs1) + instr.imm) & ~1
+            st.write(instr.rd, instr.address + 4)
+            return _tu(target, st.xlen)
+        if op in _FP_BINOPS:
+            assert instr.rd and instr.rs1 and instr.rs2
+            st.write(instr.rd, _FP_BINOPS[op](rflt(instr.rs1), rflt(instr.rs2)))
+            return None
+        if op in _FP_CMPOPS:
+            assert instr.rd and instr.rs1 and instr.rs2
+            st.write(instr.rd, int(_FP_CMPOPS[op](rflt(instr.rs1), rflt(instr.rs2))))
+            return None
+        if op is Opcode.FSQRT_S:
+            assert instr.rd and instr.rs1
+            value = rflt(instr.rs1)
+            st.write(instr.rd, math.sqrt(value) if value >= 0 else float("nan"))
+            return None
+        if op in _FP_UNARY:
+            assert instr.rd and instr.rs1
+            st.write(instr.rd, _FP_UNARY[op](st.read(instr.rs1)))
+            return None
+        if instr.is_system:
+            raise ExecutionError(f"system instruction not executable: {instr}")
+        raise ExecutionError(f"no semantics for {instr}")
+
+    def _require_rv64(self, instr: Instruction) -> None:
+        if self.state.xlen != 64:
+            raise ExecutionError(
+                f"RV64I instruction {instr} on an RV32 (xlen=32) state"
+            )
+
+
+def _sext_bits(value: int, bits: int) -> int:
+    sign = 1 << (bits - 1)
+    return (value & (sign - 1)) - (value & sign)
+
+
+# Integer operations take (a, b, xlen): shifts mask by xlen-1, unsigned
+# comparisons/divides reinterpret at the datapath width.
+_INT_BINOPS = {
+    Opcode.ADD: lambda a, b, w: a + b,
+    Opcode.SUB: lambda a, b, w: a - b,
+    Opcode.SLL: lambda a, b, w: _ts(a << (b & (w - 1)), w),
+    Opcode.SLT: lambda a, b, w: int(a < b),
+    Opcode.SLTU: lambda a, b, w: int(_tu(a, w) < _tu(b, w)),
+    Opcode.XOR: lambda a, b, w: a ^ b,
+    Opcode.SRL: lambda a, b, w: _ts(_tu(a, w) >> (b & (w - 1)), w),
+    Opcode.SRA: lambda a, b, w: a >> (b & (w - 1)),
+    Opcode.OR: lambda a, b, w: a | b,
+    Opcode.AND: lambda a, b, w: a & b,
+    Opcode.MUL: lambda a, b, w: _ts(a * b, w),
+    Opcode.MULH: lambda a, b, w: (a * b) >> w,
+    Opcode.MULHSU: lambda a, b, w: (a * _tu(b, w)) >> w,
+    Opcode.MULHU: lambda a, b, w: (_tu(a, w) * _tu(b, w)) >> w,
+    Opcode.DIV: lambda a, b, w: _div(a, b, w),
+    Opcode.DIVU: lambda a, b, w: _ts(
+        (1 << w) - 1 if b == 0 else _tu(a, w) // _tu(b, w), w
+    ),
+    Opcode.REM: lambda a, b, w: _rem(a, b, w),
+    Opcode.REMU: lambda a, b, w: _ts(
+        _tu(a, w) if b == 0 else _tu(a, w) % _tu(b, w), w
+    ),
+}
+
+_INT_IMMOPS = {
+    Opcode.ADDI: lambda a, i, w: a + i,
+    Opcode.SLTI: lambda a, i, w: int(a < i),
+    Opcode.SLTIU: lambda a, i, w: int(_tu(a, w) < _tu(i, w)),
+    Opcode.XORI: lambda a, i, w: a ^ i,
+    Opcode.ORI: lambda a, i, w: a | i,
+    Opcode.ANDI: lambda a, i, w: a & i,
+    Opcode.SLLI: lambda a, i, w: _ts(a << (i & (w - 1)), w),
+    Opcode.SRLI: lambda a, i, w: _ts(_tu(a, w) >> (i & (w - 1)), w),
+    Opcode.SRAI: lambda a, i, w: a >> (i & (w - 1)),
+}
+
+# RV64I W-forms: operate on the low 32 bits, sign-extend the 32-bit result.
+_INT_W_BINOPS = {
+    Opcode.ADDW: lambda a, b: _ts(a + b, 32),
+    Opcode.SUBW: lambda a, b: _ts(a - b, 32),
+    Opcode.SLLW: lambda a, b: _ts(a << (b & 31), 32),
+    Opcode.SRLW: lambda a, b: _ts(_tu(a, 32) >> (b & 31), 32),
+    Opcode.SRAW: lambda a, b: _ts(_ts(a, 32) >> (b & 31), 32),
+}
+
+_INT_W_IMMOPS = {
+    Opcode.ADDIW: lambda a, i: _ts(a + i, 32),
+    Opcode.SLLIW: lambda a, i: _ts(a << (i & 31), 32),
+    Opcode.SRLIW: lambda a, i: _ts(_tu(a, 32) >> (i & 31), 32),
+    Opcode.SRAIW: lambda a, i: _ts(_ts(a, 32) >> (i & 31), 32),
+}
+
+_BRANCH_CONDS = {
+    Opcode.BEQ: lambda a, b, w=32: a == b,
+    Opcode.BNE: lambda a, b, w=32: a != b,
+    Opcode.BLT: lambda a, b, w=32: a < b,
+    Opcode.BGE: lambda a, b, w=32: a >= b,
+    Opcode.BLTU: lambda a, b, w=32: _tu(a, w) < _tu(b, w),
+    Opcode.BGEU: lambda a, b, w=32: _tu(a, w) >= _tu(b, w),
+}
+
+_FP_BINOPS = {
+    Opcode.FADD_S: lambda a, b: a + b,
+    Opcode.FSUB_S: lambda a, b: a - b,
+    Opcode.FMUL_S: lambda a, b: a * b,
+    Opcode.FDIV_S: lambda a, b: a / b if b != 0.0 else math.copysign(math.inf, a) if a else math.nan,
+    Opcode.FMIN_S: min,
+    Opcode.FMAX_S: max,
+    Opcode.FSGNJ_S: lambda a, b: math.copysign(abs(a), b),
+    Opcode.FSGNJN_S: lambda a, b: math.copysign(abs(a), -b),
+    Opcode.FSGNJX_S: lambda a, b: a if b >= 0 else -a,
+}
+
+_FP_CMPOPS = {
+    Opcode.FEQ_S: lambda a, b: a == b,
+    Opcode.FLT_S: lambda a, b: a < b,
+    Opcode.FLE_S: lambda a, b: a <= b,
+}
+
+_FP_UNARY = {
+    Opcode.FCVT_S_W: lambda v: float(int(v)),
+    Opcode.FCVT_S_WU: lambda v: float(_tu(int(v), 32)),
+    Opcode.FCVT_W_S: lambda v: int(v),
+    Opcode.FCVT_WU_S: lambda v: int(v),
+    Opcode.FMV_X_W: lambda v: struct.unpack(
+        "<i", struct.pack("<f", float(v)))[0],
+    Opcode.FMV_W_X: lambda v: struct.unpack(
+        "<f", struct.pack("<i", _ts(int(v), 32)))[0],
+}
+
+
+def apply_operation(instr: Instruction, a: int | float = 0,
+                    b: int | float = 0, xlen: int = 32) -> int | float:
+    """Evaluate a *compute* instruction as a pure function of its operands.
+
+    This is the per-PE semantics of the spatial accelerator: given the
+    (resolved) source values, return the produced value.  Memory, control,
+    and system instructions are not computable here.
+
+    Args:
+        instr: the instruction (its immediate is used where applicable).
+        a: value of source 1.
+        b: value of source 2 (ignored by immediate/unary forms).
+        xlen: the PE datapath width (32 for the paper's RV32IMF backend).
+
+    Raises:
+        ExecutionError: for non-compute instructions.
+    """
+    op = instr.opcode
+    if op is Opcode.NOP:
+        return 0
+    if op in _INT_W_BINOPS:
+        return _INT_W_BINOPS[op](int(a), int(b))
+    if op in _INT_W_IMMOPS:
+        return _INT_W_IMMOPS[op](int(a), instr.imm)
+    if op in _INT_BINOPS:
+        return _ts(_INT_BINOPS[op](int(a), int(b), xlen), xlen)
+    if op in _INT_IMMOPS:
+        return _ts(_INT_IMMOPS[op](int(a), instr.imm, xlen), xlen)
+    if op is Opcode.LUI:
+        return _ts(instr.imm << 12, 32)
+    if op is Opcode.AUIPC:
+        return _ts(instr.address + (instr.imm << 12), xlen)
+    if op in _FP_BINOPS:
+        return _f32(_FP_BINOPS[op](float(a), float(b)))
+    if op in _FP_CMPOPS:
+        return int(_FP_CMPOPS[op](float(a), float(b)))
+    if op is Opcode.FSQRT_S:
+        value = float(a)
+        return _f32(math.sqrt(value)) if value >= 0 else float("nan")
+    if op in _FP_UNARY:
+        result = _FP_UNARY[op](a)
+        return _f32(result) if isinstance(result, float) else _ts(result, 32)
+    raise ExecutionError(f"not a pure compute operation: {instr}")
+
+
+def branch_taken(instr: Instruction, a: int | float, b: int | float) -> bool:
+    """Evaluate a conditional branch's direction given its source values."""
+    if instr.opcode in _BRANCH_CONDS:
+        return _BRANCH_CONDS[instr.opcode](int(a), int(b))
+    if instr.is_jump:
+        return True
+    raise ExecutionError(f"not a branch: {instr}")
+
+
+def run(program: Program, state: MachineState | None = None,
+        max_steps: int = 1_000_000) -> MachineState:
+    """Convenience wrapper: execute a program to completion, return state."""
+    executor = Executor(program, state)
+    executor.run(max_steps=max_steps)
+    return executor.state

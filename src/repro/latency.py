@@ -1,0 +1,85 @@
+"""Operation latency table shared by the CPU, accelerator, and DFG models.
+
+Paper §3.1: "operation latencies L_i.op are generally stored as constants for
+immediate operations (add, mul, etc.) ... Memory access operations are modeled
+by per-instruction average memory access time (AMAT)".  This module is that
+constant store.  Memory operations deliberately have *no* entry here — their
+latency always comes from measured AMAT (see
+:class:`repro.mem.hierarchy.MemoryHierarchy`).
+
+The defaults follow the paper's worked example (Fig. 2: FP add/sub = 3 cycles,
+FP mul = 5 cycles) and common RISC-V FU pipelines for the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import ClassVar
+
+from .isa import Instruction, OpClass
+
+__all__ = ["LatencyTable", "DEFAULT_LATENCIES"]
+
+
+@dataclass(frozen=True)
+class LatencyTable:
+    """Cycles from operands-ready to result-produced, per operation class."""
+
+    int_alu: int = 1
+    int_mul: int = 3
+    int_div: int = 12
+    fp_add: int = 3
+    fp_mul: int = 5
+    fp_div: int = 16
+    fp_sqrt: int = 20
+    fp_cmp: int = 2
+    fp_cvt: int = 2
+    branch: int = 1
+    jump: int = 1
+    store_issue: int = 1  # address/data hand-off; the access itself is AMAT
+
+    _BY_CLASS: ClassVar[dict[OpClass, str]] = {
+        OpClass.INT_ALU: "int_alu",
+        OpClass.INT_MUL: "int_mul",
+        OpClass.INT_DIV: "int_div",
+        OpClass.FP_ADD: "fp_add",
+        OpClass.FP_MUL: "fp_mul",
+        OpClass.FP_DIV: "fp_div",
+        OpClass.FP_SQRT: "fp_sqrt",
+        OpClass.FP_CMP: "fp_cmp",
+        OpClass.FP_CVT: "fp_cvt",
+        OpClass.BRANCH: "branch",
+        OpClass.JUMP: "jump",
+    }
+
+    def for_class(self, op_class: OpClass) -> int:
+        """Latency of a non-memory operation class.
+
+        Raises:
+            KeyError: for memory/system classes, whose latency is not a
+                constant (memory uses AMAT; system ops are not executable).
+        """
+        name = self._BY_CLASS.get(op_class)
+        if name is None:
+            raise KeyError(f"{op_class} has no constant latency")
+        return getattr(self, name)
+
+    def for_instruction(self, instr: Instruction) -> int:
+        """Latency of a non-memory instruction."""
+        return self.for_class(instr.op_class)
+
+    def scaled(self, factor: float) -> "LatencyTable":
+        """A copy with all latencies scaled (min 1 cycle each)."""
+        updates = {
+            name: max(1, round(getattr(self, name) * factor))
+            for name in (
+                "int_alu", "int_mul", "int_div", "fp_add", "fp_mul",
+                "fp_div", "fp_sqrt", "fp_cmp", "fp_cvt", "branch", "jump",
+                "store_issue",
+            )
+        }
+        return replace(self, **updates)
+
+
+#: The library-wide default latency table.
+DEFAULT_LATENCIES = LatencyTable()

@@ -1,0 +1,126 @@
+"""Set-associative cache timing model with LRU replacement.
+
+The evaluation platform in the paper configures "a memory hierarchy of 64KB
+L1, unified 8MB L2" (§6.1); this module provides the building block for that
+hierarchy.  Only *timing* is modeled — data always comes from
+:class:`repro.mem.memory.Memory` — so a cache access returns whether it hit
+and lets the hierarchy translate that into cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = ["CacheConfig", "CacheStats", "Cache"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 8
+    hit_latency: int = 2
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache parameters must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError(
+                f"size {self.size_bytes} not divisible into "
+                f"{self.associativity}-way sets of {self.line_bytes}B lines"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError("line size must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate if self.accesses else 0.0
+
+
+class Cache:
+    """One level of a cache hierarchy (timing only, LRU replacement)."""
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        # One ordered dict per set: tag -> dirty flag; order is LRU order.
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one address; returns True on hit.
+
+        On a miss the line is filled (allocate-on-miss for both reads and
+        writes) and the LRU way evicted if the set is full; dirty evictions
+        count as writebacks.
+        """
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if tag in ways:
+            self.stats.hits += 1
+            ways[tag] = ways[tag] or is_write
+            ways.move_to_end(tag)
+            return True
+        self.stats.misses += 1
+        if len(ways) >= self.config.associativity:
+            _, dirty = ways.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        ways[tag] = is_write
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without updating LRU state or counters."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        """Invalidate all lines (counters are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"Cache({self.name}, {cfg.size_bytes // 1024}KB, "
+            f"{cfg.associativity}-way, {cfg.line_bytes}B lines)"
+        )

@@ -1,0 +1,110 @@
+"""Multi-level memory hierarchy with per-instruction AMAT tracking.
+
+The paper models memory operations in the DFG as nodes with variable latency
+equal to their *per-instruction average memory access time* measured by
+"counters at load/store unit entries" (§3.1, §4.2).  This module provides
+exactly that: a hierarchy whose :meth:`MemoryHierarchy.access` returns the
+latency of one access, and which keeps a running AMAT keyed by the PC of the
+memory instruction so the MESA performance model can read it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cache import Cache, CacheConfig
+
+__all__ = ["HierarchyConfig", "AmatCounter", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """The evaluation platform's memory system (64KB L1, 8MB unified L2)."""
+
+    l1: CacheConfig = CacheConfig(size_bytes=64 * 1024, hit_latency=2)
+    l2: CacheConfig = CacheConfig(size_bytes=8 * 1024 * 1024, hit_latency=12,
+                                  associativity=16)
+    dram_latency: int = 100
+
+
+@dataclass
+class AmatCounter:
+    """Running average access latency for one instruction address."""
+
+    total_cycles: int = 0
+    accesses: int = 0
+
+    def record(self, latency: int) -> None:
+        self.total_cycles += latency
+        self.accesses += 1
+
+    @property
+    def amat(self) -> float:
+        return self.total_cycles / self.accesses if self.accesses else 0.0
+
+
+class MemoryHierarchy:
+    """L1 + unified L2 + DRAM timing model.
+
+    Access latency accumulates down the hierarchy: an L1 miss pays the L1
+    probe plus the L2 access, and an L2 miss additionally pays DRAM latency.
+    """
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config if config is not None else HierarchyConfig()
+        self.l1 = Cache(self.config.l1, name="L1")
+        self.l2 = Cache(self.config.l2, name="L2")
+        self.dram_accesses = 0
+        self._amat: dict[int, AmatCounter] = {}
+
+    def access(self, address: int, is_write: bool = False,
+               pc: int | None = None) -> int:
+        """Access the hierarchy once; returns the latency in cycles.
+
+        Args:
+            address: byte address of the access.
+            is_write: True for stores.
+            pc: instruction address, used to key the per-PC AMAT counter
+                (the paper's load/store-entry latency counters).
+        """
+        latency = self.config.l1.hit_latency
+        if not self.l1.access(address, is_write):
+            latency += self.config.l2.hit_latency
+            if not self.l2.access(address, is_write):
+                latency += self.config.dram_latency
+                self.dram_accesses += 1
+        if pc is not None:
+            self._amat.setdefault(pc, AmatCounter()).record(latency)
+        return latency
+
+    def amat(self, pc: int) -> float:
+        """Measured AMAT for the memory instruction at ``pc`` (0 if unseen)."""
+        counter = self._amat.get(pc)
+        return counter.amat if counter is not None else 0.0
+
+    def amat_counters(self) -> dict[int, AmatCounter]:
+        """All per-PC AMAT counters (read by MESA's performance model)."""
+        return dict(self._amat)
+
+    @property
+    def ideal_latency(self) -> int:
+        """Best-case (L1 hit) latency."""
+        return self.config.l1.hit_latency
+
+    def warm(self, addresses: list[int]) -> None:
+        """Pre-touch addresses so subsequent accesses hit (for tests)."""
+        for address in addresses:
+            self.access(address)
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        """Clear counters but keep cache contents (warm-cache measurement)."""
+        self.l1.reset_stats()
+        self.l2.reset_stats()
+        self.dram_accesses = 0
+        self._amat.clear()
+
+    def flush(self) -> None:
+        """Invalidate all cache contents."""
+        self.l1.flush()
+        self.l2.flush()

@@ -1,0 +1,32 @@
+"""Workloads: the Rodinia kernel suite and a synthetic loop generator.
+
+* :func:`build_kernel` / :data:`KERNELS` — instantiate Rodinia kernels;
+* :data:`FIG11_SET` / :data:`FIG12_SET` / :data:`FIG14_SET` — the paper's
+  benchmark subsets;
+* :func:`generate_kernel` — seeded synthetic loops for stress testing.
+"""
+
+from .base import KernelInstance, StateBuilder, load_immediate
+from .generator import GeneratorParams, generate_kernel
+from .rodinia import (
+    FIG11_SET,
+    FIG12_SET,
+    FIG14_SET,
+    KERNELS,
+    build_kernel,
+    kernel_names,
+)
+
+__all__ = [
+    "KernelInstance",
+    "StateBuilder",
+    "load_immediate",
+    "GeneratorParams",
+    "generate_kernel",
+    "FIG11_SET",
+    "FIG12_SET",
+    "FIG14_SET",
+    "KERNELS",
+    "build_kernel",
+    "kernel_names",
+]

@@ -1,0 +1,29 @@
+"""Rodinia kernel modules (one per benchmark)."""
+
+from . import (
+    backprop,
+    bfs,
+    btree,
+    cfd,
+    gaussian,
+    heartwall,
+    hotspot,
+    hotspot3d,
+    kmeans,
+    lavamd,
+    leukocyte,
+    lud,
+    myocyte,
+    nn,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+    streamcluster,
+)
+
+__all__ = [
+    "backprop", "bfs", "btree", "cfd", "gaussian", "heartwall", "hotspot",
+    "hotspot3d", "kmeans", "lavamd", "leukocyte", "lud", "myocyte", "nn",
+    "nw", "particlefilter", "pathfinder", "srad", "streamcluster",
+]

@@ -1,0 +1,66 @@
+"""Rodinia *bfs*: frontier expansion (edge scan).
+
+Each iteration reads one edge's destination, loads the destination's level,
+and — if unvisited — writes the new level (a predicated store behind a
+forward branch).  Almost no arithmetic, data-dependent load addresses that
+defeat prefetching, and a low compute-to-memory ratio: the paper singles BFS
+out as "memory or control-heavy ... not suitable for spatial accelerators",
+which is exactly the behaviour this kernel exhibits.
+"""
+
+from __future__ import annotations
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "bfs"
+EDGES = 0x10000
+LEVELS = 0x20000
+NODES = 256
+
+
+def build(iterations: int = 256, seed: int = 1) -> KernelInstance:
+    """Build the bfs edge-scan kernel."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', EDGES)}
+        {load_immediate('a1', LEVELS)}
+        {load_immediate('t4', 1)}
+        loop:
+            lw     t1, 0(a0)           # edge destination (node id)
+            slli   t2, t1, 2
+            add    t2, a1, t2          # &levels[dst]
+            lw     t3, 0(t2)           # current level (data-dependent)
+            bne    t3, zero, visited   # already visited?
+            sw     t4, 0(t2)           # mark with the new level
+        visited:
+            addi   a0, a0, 4
+            addi   t0, t0, -1
+            bne    t0, zero, loop
+    """)
+    builder = StateBuilder(program, seed)
+    edges = builder.random_words(EDGES, iterations, 0, NODES - 1)
+    # Half the nodes start visited (level 2), the rest unvisited (0).
+    levels = [2 if builder.rng.random() < 0.5 else 0 for _ in range(NODES)]
+    builder.words(LEVELS, levels)
+
+    def verify(state: MachineState) -> bool:
+        expected = list(levels)
+        for dst in edges:
+            if expected[dst] == 0:
+                expected[dst] = 1
+        for node in range(NODES):
+            if state.memory.load_word(LEVELS + 4 * node) != expected[node]:
+                return False
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=True,  # Rodinia's omp bfs (benign races excluded here)
+        category="memory",
+        iterations=iterations,
+        description="frontier edge scan with predicated level update",
+        verify=verify,
+    )

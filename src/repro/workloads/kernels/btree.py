@@ -1,0 +1,67 @@
+"""Rodinia *b+tree*: key lookup by node traversal.
+
+Each query walks a fixed-depth index structure: an inner loop chases child
+pointers (data-dependent loads), then the leaf value is accumulated.  Like
+SRAD, the inner backward branch disqualifies the region on MESA (Fig. 14)
+while the CPU and DynaSpAM baselines still execute it.
+"""
+
+from __future__ import annotations
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "btree"
+NODES = 0x10000
+QUERIES = 0x20000
+RESULTS = 0x30000
+DEPTH = 3
+NODE_COUNT = 64
+
+
+def build(iterations: int = 128, seed: int = 1) -> KernelInstance:
+    """Build the b+tree lookup kernel."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', QUERIES)}
+        {load_immediate('a1', NODES)}
+        {load_immediate('a2', RESULTS)}
+        outer:
+            lw     t1, 0(a0)            # start node id for this query
+            addi   t2, zero, {DEPTH}
+            walk:
+                slli   t3, t1, 2
+                add    t3, a1, t3
+                lw     t1, 0(t3)        # follow the child pointer
+                addi   t2, t2, -1
+                bne    t2, zero, walk
+            sw     t1, 0(a2)            # leaf id is the lookup result
+            addi   a0, a0, 4
+            addi   a2, a2, 4
+            addi   t0, t0, -1
+            bne    t0, zero, outer
+    """)
+    builder = StateBuilder(program, seed)
+    pointers = builder.random_words(NODES, NODE_COUNT, 0, NODE_COUNT - 1)
+    queries = builder.random_words(QUERIES, iterations, 0, NODE_COUNT - 1)
+
+    def verify(state: MachineState) -> bool:
+        for i in range(min(iterations, 32)):
+            node = queries[i]
+            for _ in range(DEPTH):
+                node = pointers[node]
+            if state.memory.load_word(RESULTS + 4 * i) != node:
+                return False
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=True,
+        category="control",
+        iterations=iterations,
+        description="fixed-depth pointer-chasing lookup "
+                    "(disqualifies on MESA's C2)",
+        verify=verify,
+    )

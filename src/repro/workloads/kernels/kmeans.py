@@ -1,0 +1,81 @@
+"""Rodinia *kmeans*: nearest-centre assignment (k = 2, 2-D points).
+
+Each iteration computes one point's squared distance to two cluster
+centres, picks the smaller with ``fmin``/compare, and stores the winning
+distance.  Compute-heavy with a short forward-branch-free body — the kind of
+loop MESA maps well.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "kmeans"
+POINTS = 0x10000
+ASSIGN = 0x30000
+CENTRE_A = (0.25, 0.25)
+CENTRE_B = (0.75, 0.75)
+
+
+def build(iterations: int = 256, seed: int = 1) -> KernelInstance:
+    """Build the kmeans assignment kernel."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', POINTS)}
+        {load_immediate('a1', ASSIGN)}
+        loop:
+            flw    ft0, 0(a0)          # x
+            flw    ft1, 4(a0)          # y
+            fsub.s ft2, ft0, fa0       # dx to centre A
+            fsub.s ft3, ft1, fa1       # dy to centre A
+            fmul.s ft2, ft2, ft2
+            fmul.s ft3, ft3, ft3
+            fadd.s ft2, ft2, ft3       # dist2 to A
+            fsub.s ft4, ft0, fa2       # dx to centre B
+            fsub.s ft5, ft1, fa3       # dy to centre B
+            fmul.s ft4, ft4, ft4
+            fmul.s ft5, ft5, ft5
+            fadd.s ft4, ft4, ft5       # dist2 to B
+            fmin.s ft6, ft2, ft4       # winning distance
+            flt.s  t1, ft4, ft2        # 1 when B is closer
+            fsw    ft6, 0(a1)
+            sw     t1, 4(a1)
+            addi   a0, a0, 8
+            addi   a1, a1, 8
+            addi   t0, t0, -1
+            bne    t0, zero, loop
+    """)
+    builder = StateBuilder(program, seed)
+    builder.set_freg("fa0", CENTRE_A[0])
+    builder.set_freg("fa1", CENTRE_A[1])
+    builder.set_freg("fa2", CENTRE_B[0])
+    builder.set_freg("fa3", CENTRE_B[1])
+    points = builder.random_floats(POINTS, 2 * iterations, 0.0, 1.0)
+
+    def verify(state: MachineState) -> bool:
+        for i in range(min(iterations, 32)):
+            x, y = points[2 * i], points[2 * i + 1]
+            da = (x - CENTRE_A[0]) ** 2 + (y - CENTRE_A[1]) ** 2
+            db = (x - CENTRE_B[0]) ** 2 + (y - CENTRE_B[1]) ** 2
+            got_dist = state.memory.load_float(ASSIGN + 8 * i)
+            got_cluster = state.memory.load_word(ASSIGN + 8 * i + 4)
+            if not math.isclose(got_dist, min(da, db), rel_tol=1e-4,
+                                abs_tol=1e-6):
+                return False
+            if got_cluster != int(db < da):
+                return False
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=True,
+        category="compute",
+        iterations=iterations,
+        description="nearest-of-two-centres assignment",
+        verify=verify,
+    )

@@ -1,0 +1,66 @@
+"""Rodinia *nn* (nearest neighbor): Euclidean distance kernel.
+
+The paper's PE-scaling study (Fig. 15) uses this kernel: "The tested kernel
+(Euclidean distance) is small enough to fit on just 16 PEs."  Each iteration
+loads one (x, y) point, computes its distance to a fixed query point, and
+stores the result.  Fully data-parallel (``omp parallel for`` in Rodinia).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "nn"
+POINTS = 0x10000
+DISTANCES = 0x30000
+QUERY = (0.5, 0.5)
+
+
+def build(iterations: int = 256, seed: int = 1) -> KernelInstance:
+    """Build the nn kernel instance."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', POINTS)}
+        {load_immediate('a1', DISTANCES)}
+        loop:
+            flw    ft0, 0(a0)        # point.x
+            flw    ft1, 4(a0)        # point.y
+            fsub.s ft2, ft0, fa0
+            fsub.s ft3, ft1, fa1
+            fmul.s ft4, ft2, ft2
+            fmul.s ft5, ft3, ft3
+            fadd.s ft6, ft4, ft5
+            fsqrt.s ft7, ft6
+            fsw    ft7, 0(a1)
+            addi   a0, a0, 8
+            addi   a1, a1, 4
+            addi   t0, t0, -1
+            bne    t0, zero, loop
+    """)
+    builder = StateBuilder(program, seed)
+    builder.set_freg("fa0", QUERY[0])
+    builder.set_freg("fa1", QUERY[1])
+    points = builder.random_floats(POINTS, 2 * iterations, 0.0, 1.0)
+
+    def verify(state: MachineState) -> bool:
+        for i in range(iterations):
+            x, y = points[2 * i], points[2 * i + 1]
+            expected = math.hypot(x - QUERY[0], y - QUERY[1])
+            got = state.memory.load_float(DISTANCES + 4 * i)
+            if not math.isclose(got, expected, rel_tol=1e-4, abs_tol=1e-6):
+                return False
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=True,
+        category="compute",
+        iterations=iterations,
+        description="Euclidean distance of each point to a query point",
+        verify=verify,
+    )

@@ -1,0 +1,77 @@
+"""Rodinia *nw* (Needleman-Wunsch): anti-diagonal DP cell update.
+
+``score[j] = max(nw + sim[j], w + gap, n + gap)`` — integer DP with two
+predicated selections.  Cells along one anti-diagonal are independent, but
+the Rodinia kernel processes them with a serialized carried ``west`` value,
+so the loop is *not* annotated parallel here — it lands between pathfinder
+and the control-bound kernels.
+"""
+
+from __future__ import annotations
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "nw"
+SIMILARITY = 0x10000
+NORTH = 0x20000
+SCORE = 0x30000
+GAP = -2
+INITIAL_WEST = 0
+
+
+def build(iterations: int = 256, seed: int = 1) -> KernelInstance:
+    """Build the nw DP-row kernel."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', SIMILARITY)}
+        {load_immediate('a1', NORTH + 4)}
+        {load_immediate('a2', SCORE)}
+        {load_immediate('t5', INITIAL_WEST)}
+        {load_immediate('t6', GAP)}
+        loop:
+            lw     t1, 0(a0)           # similarity score
+            lw     t2, -4(a1)          # north-west
+            lw     t3, 0(a1)           # north
+            add    t1, t1, t2          # diag = nw + sim
+            add    t2, t5, t6          # west + gap
+            add    t3, t3, t6          # north + gap
+            bge    t1, t2, keep_diag   # t1 = max(diag, west+gap)
+            add    t1, t2, zero
+        keep_diag:
+            bge    t1, t3, keep_west   # t1 = max(t1, north+gap)
+            add    t1, t3, zero
+        keep_west:
+            sw     t1, 0(a2)
+            add    t5, t1, zero        # becomes next cell's west
+            addi   a0, a0, 4
+            addi   a1, a1, 4
+            addi   a2, a2, 4
+            addi   t0, t0, -1
+            bne    t0, zero, loop
+    """)
+    builder = StateBuilder(program, seed)
+    similarity = builder.random_words(SIMILARITY, iterations, -3, 3)
+    north = builder.random_words(NORTH, iterations + 1, -10, 10)
+
+    def verify(state: MachineState) -> bool:
+        west = INITIAL_WEST
+        for j in range(iterations):
+            value = max(north[j] + similarity[j],  # north[-1+1+j] is NW
+                        west + GAP,
+                        north[j + 1] + GAP)
+            if j < 32 and state.memory.load_word(SCORE + 4 * j) != value:
+                return False
+            west = value
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=False,  # the carried `west` serializes the row
+        category="stencil",
+        iterations=iterations,
+        description="sequence-alignment DP cell with carried west value",
+        verify=verify,
+    )

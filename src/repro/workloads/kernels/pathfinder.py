@@ -1,0 +1,66 @@
+"""Rodinia *pathfinder*: dynamic-programming min over three neighbours.
+
+``dst[j] = cost[j] + min(src[j-1], src[j], src[j+1])`` — integer loads,
+comparisons realized with predicated forward branches (the select pattern
+MESA supports via PE enable signals), and a store.
+"""
+
+from __future__ import annotations
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "pathfinder"
+SRC = 0x10000
+COST = 0x20000
+DST = 0x30000
+
+
+def build(iterations: int = 256, seed: int = 1) -> KernelInstance:
+    """Build the pathfinder DP kernel (one wavefront row)."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', SRC + 4)}
+        {load_immediate('a1', COST + 4)}
+        {load_immediate('a2', DST + 4)}
+        loop:
+            lw     t1, -4(a0)          # src[j-1]
+            lw     t2, 0(a0)           # src[j]
+            lw     t3, 4(a0)           # src[j+1]
+            bge    t1, t2, keep_left   # t2 = min(t1, t2)
+            add    t2, t1, zero
+        keep_left:
+            bge    t3, t2, keep_mid    # t2 = min(t2, t3)
+            add    t2, t3, zero
+        keep_mid:
+            lw     t4, 0(a1)           # cost[j]
+            add    t5, t2, t4
+            sw     t5, 0(a2)
+            addi   a0, a0, 4
+            addi   a1, a1, 4
+            addi   a2, a2, 4
+            addi   t0, t0, -1
+            bne    t0, zero, loop
+    """)
+    builder = StateBuilder(program, seed)
+    src = builder.random_words(SRC, iterations + 2, 0, 50)
+    cost = builder.random_words(COST, iterations + 2, 1, 9)
+
+    def verify(state: MachineState) -> bool:
+        for i in range(min(iterations, 32)):
+            j = 1 + i
+            expected = cost[j] + min(src[j - 1], src[j], src[j + 1])
+            if state.memory.load_word(DST + 4 * j) != expected:
+                return False
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=True,
+        category="stencil",
+        iterations=iterations,
+        description="wavefront DP: cost + min of three neighbours",
+        verify=verify,
+    )

@@ -1,0 +1,67 @@
+"""Rodinia *srad*: speckle-reducing anisotropic diffusion.
+
+The real SRAD kernel nests a small neighbourhood loop inside the cell loop.
+MESA cannot handle nested loops ("backward jumps ... resulting in inner
+loops cannot be handled by MESA and must therefore be unrolled by the
+compiler ahead of time or the loop is disqualified", §5) — and Fig. 14 notes
+that SRAD "did not qualify for acceleration on MESA" while DynaSpAM, living
+inside the core pipeline, still runs it.  This kernel reproduces that shape:
+a hot outer loop with an irreducible inner backward branch.
+"""
+
+from __future__ import annotations
+
+from ...isa import MachineState, assemble
+from ..base import KernelInstance, StateBuilder, load_immediate
+
+NAME = "srad"
+IMAGE = 0x10000
+OUT = 0x30000
+INNER = 4  # neighbourhood size
+
+
+def build(iterations: int = 128, seed: int = 1) -> KernelInstance:
+    """Build the srad kernel (outer cell loop with an inner
+    neighbourhood accumulation loop)."""
+    program = assemble(f"""
+        {load_immediate('t0', iterations)}
+        {load_immediate('a0', IMAGE)}
+        {load_immediate('a1', OUT)}
+        outer:
+            addi   t1, zero, {INNER}
+            add    t2, zero, zero       # neighbourhood sum
+            add    t3, a0, zero
+            inner:
+                lw     t4, 0(t3)
+                add    t2, t2, t4
+                addi   t3, t3, 4
+                addi   t1, t1, -1
+                bne    t1, zero, inner
+            srai   t2, t2, 2            # mean of 4 neighbours
+            sw     t2, 0(a1)
+            addi   a0, a0, 4
+            addi   a1, a1, 4
+            addi   t0, t0, -1
+            bne    t0, zero, outer
+    """)
+    builder = StateBuilder(program, seed)
+    image = builder.random_words(IMAGE, iterations + INNER, 0, 255)
+
+    def verify(state: MachineState) -> bool:
+        for i in range(min(iterations, 32)):
+            expected = sum(image[i:i + INNER]) >> 2
+            if state.memory.load_word(OUT + 4 * i) != expected:
+                return False
+        return True
+
+    return KernelInstance(
+        name=NAME,
+        program=program,
+        state_factory=builder.factory(),
+        parallelizable=True,
+        category="control",
+        iterations=iterations,
+        description="diffusion cell update with an inner neighbourhood loop "
+                    "(disqualifies on MESA's C2)",
+        verify=verify,
+    )

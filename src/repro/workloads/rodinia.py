@@ -1,0 +1,100 @@
+"""The Rodinia kernel registry and the paper's benchmark subsets.
+
+The paper evaluates MESA "using benchmarks from the Rodinia benchmark suite"
+(§6).  Each kernel here is the suite member's hot inner loop, hand-written in
+RISC-V assembly with seeded inputs and a functional verifier — the same code
+MESA's trace cache would capture from a compiled binary.
+
+Subsets:
+
+* :data:`FIG11_SET` — the full suite (performance/energy vs multicore);
+* :data:`FIG12_SET` — the "eight Rodinia benchmarks that are compatible"
+  with the OpenCGRA comparison;
+* :data:`FIG14_SET` — the benchmarks shared with DynaSpAM's evaluation,
+  including SRAD and B+Tree, whose kernels "did not qualify for acceleration
+  on MESA".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import KernelInstance
+from .kernels import (
+    backprop,
+    bfs,
+    btree,
+    cfd,
+    gaussian,
+    heartwall,
+    hotspot,
+    hotspot3d,
+    kmeans,
+    lavamd,
+    leukocyte,
+    lud,
+    myocyte,
+    nn,
+    nw,
+    particlefilter,
+    pathfinder,
+    srad,
+    streamcluster,
+)
+
+__all__ = ["KERNELS", "FIG11_SET", "FIG12_SET", "FIG14_SET",
+           "build_kernel", "kernel_names"]
+
+_MODULES = (
+    backprop, bfs, btree, cfd, gaussian, heartwall, hotspot, hotspot3d,
+    kmeans, lavamd, leukocyte, lud, myocyte, nn, nw, particlefilter,
+    pathfinder, srad, streamcluster,
+)
+
+#: name -> build(iterations=..., seed=...) callable.
+KERNELS: dict[str, Callable[..., KernelInstance]] = {
+    module.NAME: module.build for module in _MODULES
+}
+
+#: Fig. 11: the full suite.
+FIG11_SET: tuple[str, ...] = tuple(sorted(KERNELS))
+
+#: Fig. 12: the eight OpenCGRA-compatible kernels (no inner control, no
+#: pointer chasing — the CGRA compiler schedules plain dataflow loops).
+FIG12_SET: tuple[str, ...] = (
+    "nn", "backprop", "hotspot", "kmeans",
+    "gaussian", "lud", "pathfinder", "streamcluster",
+)
+
+#: Fig. 14: kernels shared with DynaSpAM's Rodinia evaluation.  SRAD and
+#: B+Tree carry inner loops that MESA's C2 rejects.
+FIG14_SET: tuple[str, ...] = (
+    "nn", "backprop", "bfs", "hotspot", "kmeans",
+    "lud", "pathfinder", "srad", "btree",
+)
+
+
+def kernel_names() -> list[str]:
+    """All registered kernel names, sorted."""
+    return sorted(KERNELS)
+
+
+def build_kernel(name: str, iterations: int | None = None,
+                 seed: int = 1) -> KernelInstance:
+    """Instantiate a kernel by name.
+
+    Args:
+        name: a registered Rodinia kernel name.
+        iterations: trip count (each kernel's default if omitted).
+        seed: RNG seed for the input data.
+
+    Raises:
+        KeyError: for unknown kernel names.
+    """
+    if name not in KERNELS:
+        raise KeyError(
+            f"unknown kernel {name!r}; available: {', '.join(kernel_names())}"
+        )
+    if iterations is None:
+        return KERNELS[name](seed=seed)
+    return KERNELS[name](iterations=iterations, seed=seed)

@@ -1,0 +1,104 @@
+"""Tests for the configuration bitstream codec."""
+
+import pytest
+
+from repro.accel import (
+    BitstreamError,
+    decode_bitstream,
+    encode_bitstream,
+)
+from repro.accel import AcceleratorConfig
+from tests.accel.test_engine import CFG, increment_loop_program
+
+
+class TestRoundTrip:
+    def test_increment_loop_round_trips(self):
+        program = increment_loop_program()
+        words = encode_bitstream(program)
+        decoded = decode_bitstream(words, CFG)
+        assert len(decoded.nodes) == len(program.nodes)
+        assert decoded.loop_branch_id == program.loop_branch_id
+        assert decoded.live_in == program.live_in
+        assert decoded.live_out == program.live_out
+        for original, restored in zip(program.nodes, decoded.nodes):
+            assert restored.instruction.opcode is original.instruction.opcode
+            assert restored.instruction.imm == original.instruction.imm
+            assert restored.instruction.address == original.instruction.address
+            assert restored.coord == original.coord
+            assert restored.src1 == original.src1
+            assert restored.src2 == original.src2
+            assert restored.is_memory == original.is_memory
+
+    def test_guards_round_trip(self):
+        from repro.accel import AcceleratorProgram, ConfiguredNode, Guard, Operand
+        from repro.isa import Instruction, Opcode, x
+
+        instr = [
+            Instruction(0x1000, Opcode.BEQ, rs1=x(5), rs2=x(0), imm=8),
+            Instruction(0x1004, Opcode.ADDI, rd=x(8), rs1=x(8), imm=1),
+        ]
+        program = AcceleratorProgram(
+            config=CFG,
+            nodes=[
+                ConfiguredNode(0, instr[0], (0, 0),
+                               src1=Operand.from_register(x(5))),
+                ConfiguredNode(1, instr[1], (0, 1),
+                               src1=Operand.from_register(x(8)),
+                               guard=Guard(0, Operand.from_register(x(8)))),
+            ],
+            loop_branch_id=None,
+            live_in={x(5), x(8)},
+        )
+        decoded = decode_bitstream(encode_bitstream(program), CFG)
+        assert decoded.nodes[1].guard is not None
+        assert decoded.nodes[1].guard.branch_node_id == 0
+        assert decoded.nodes[1].guard.fallback == Operand.from_register(x(8))
+        assert decoded.nodes[0].guard is None
+
+    def test_functional_equivalence_after_round_trip(self):
+        """The decoded program must execute identically."""
+        from repro.accel import DataflowEngine
+        from tests.accel.test_engine import fresh_state
+
+        program = increment_loop_program()
+        decoded = decode_bitstream(encode_bitstream(program), CFG)
+        s1, s2 = fresh_state(8), fresh_state(8)
+        DataflowEngine(program).run(s1)
+        DataflowEngine(decoded).run(s2)
+        for i in range(10):
+            assert (s1.memory.load_word(0x2000 + 4 * i)
+                    == s2.memory.load_word(0x2000 + 4 * i))
+
+
+class TestErrors:
+    def test_bad_magic(self):
+        words = encode_bitstream(increment_loop_program())
+        words[0] = 0
+        with pytest.raises(BitstreamError, match="magic"):
+            decode_bitstream(words, CFG)
+
+    def test_bad_version(self):
+        words = encode_bitstream(increment_loop_program())
+        words[1] = 99
+        with pytest.raises(BitstreamError, match="version"):
+            decode_bitstream(words, CFG)
+
+    def test_geometry_mismatch(self):
+        words = encode_bitstream(increment_loop_program())
+        other = AcceleratorConfig(rows=4, cols=4)
+        with pytest.raises(BitstreamError, match="array"):
+            decode_bitstream(words, other)
+
+    def test_truncated(self):
+        words = encode_bitstream(increment_loop_program())
+        with pytest.raises(BitstreamError, match="truncated"):
+            decode_bitstream(words[:8], CFG)
+
+    def test_trailing_garbage(self):
+        words = encode_bitstream(increment_loop_program()) + [0xFF]
+        with pytest.raises(BitstreamError, match="trailing"):
+            decode_bitstream(words, CFG)
+
+    def test_stream_length_scales_with_nodes(self):
+        words = encode_bitstream(increment_loop_program())
+        assert len(words) >= 5 * len(increment_loop_program().nodes)

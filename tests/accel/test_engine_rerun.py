@@ -1,0 +1,49 @@
+"""Re-running one engine instance must start a fresh timeline.
+
+Multi-visit loops offload repeatedly through the same configured engine
+(the controller's config-cache path); stale arbiter state from the previous
+run must not leak into the next one.
+"""
+
+import pytest
+
+from repro.accel import DataflowEngine, ExecutionOptions
+from repro.isa import MachineState, x
+from repro.mem import Memory
+
+from tests.accel.test_engine import CFG, fresh_state, increment_loop_program
+from tests.accel.test_noc_contention import fanout_program
+
+
+class TestEngineRerun:
+    def test_repeated_runs_reach_warm_steady_state(self):
+        engine = DataflowEngine(increment_loop_program())
+        runs = [engine.run(fresh_state(16)) for _ in range(3)]
+        # The shared memory hierarchy stays warm across visits (intended:
+        # a re-encountered loop benefits from resident data)...
+        assert runs[0].cycles >= runs[1].cycles
+        # ...and the warm steady state is exactly repeatable.
+        assert runs[1].cycles == runs[2].cycles
+        assert runs[0].iterations == runs[2].iterations
+
+    def test_noc_channel_state_reset_between_runs(self):
+        engine = DataflowEngine(fanout_program(8))
+
+        def run_once():
+            state = MachineState()
+            state.write(x(10), 1)
+            return engine.run(state)
+
+        first = run_once()
+        second = run_once()
+        assert second.cycles == first.cycles, (
+            "stale NoC arbiter state leaked into the second run")
+        assert (second.activity.noc_wait_cycles
+                == first.activity.noc_wait_cycles)
+
+    def test_latency_counters_accumulate_across_runs(self):
+        """Counters are the feedback channel: they keep averaging."""
+        engine = DataflowEngine(increment_loop_program())
+        engine.run(fresh_state(8))
+        first_avg = engine.run(fresh_state(8)).latency.node_latency(1)
+        assert first_avg > 0

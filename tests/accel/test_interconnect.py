@@ -1,0 +1,108 @@
+"""Tests for the interconnect latency models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel import (
+    AcceleratorConfig,
+    InterconnectKind,
+    MeshInterconnect,
+    MeshNocInterconnect,
+    RowSliceInterconnect,
+    build_interconnect,
+)
+
+CFG = AcceleratorConfig(rows=16, cols=8)
+
+_coord = st.tuples(st.integers(0, 15), st.integers(0, 7))
+
+
+class TestMesh:
+    def setup_method(self):
+        self.net = MeshInterconnect(CFG)
+
+    def test_neighbor_is_one_cycle(self):
+        assert self.net.latency((0, 0), (0, 1)) == 1
+        assert self.net.latency((0, 0), (1, 0)) == 1
+
+    def test_diagonal_is_two_cycles(self):
+        """Fig. 2: 'two cycles along the diagonal'."""
+        assert self.net.latency((0, 0), (1, 1)) == 2
+
+    def test_same_pe_is_zero(self):
+        assert self.net.latency((3, 3), (3, 3)) == 0
+
+    def test_manhattan(self):
+        assert self.net.latency((2, 1), (5, 7)) == 3 + 6
+
+    @given(a=_coord, b=_coord)
+    def test_symmetry(self, a, b):
+        assert self.net.latency(a, b) == self.net.latency(b, a)
+
+    @given(a=_coord, b=_coord, c=_coord)
+    def test_triangle_inequality(self, a, b, c):
+        assert (self.net.latency(a, c)
+                <= self.net.latency(a, b) + self.net.latency(b, c))
+
+
+class TestRowSlice:
+    def setup_method(self):
+        self.net = RowSliceInterconnect(CFG)
+
+    def test_same_row_single_cycle(self):
+        """Fig. 4 example 1: 1 cycle within a row regardless of distance."""
+        assert self.net.latency((2, 0), (2, 7)) == 1
+        assert self.net.latency((2, 3), (2, 4)) == 1
+
+    def test_cross_row_fixed_cost(self):
+        assert self.net.latency((0, 0), (1, 0)) == 3
+        assert self.net.latency((0, 0), (15, 7)) == 3
+
+    def test_same_pe_zero(self):
+        assert self.net.latency((5, 5), (5, 5)) == 0
+
+
+class TestMeshNoc:
+    def setup_method(self):
+        self.net = MeshNocInterconnect(CFG)
+
+    def test_short_distance_uses_local_links(self):
+        assert self.net.latency((0, 0), (0, 1)) == 1
+        assert self.net.latency((0, 0), (1, 1)) == 2
+
+    def test_long_distance_uses_noc(self):
+        far = self.net.latency((0, 0), (15, 7))
+        manhattan = 15 + 7
+        assert far < manhattan, "the NoC must beat neighbor-hopping far away"
+
+    def test_never_worse_than_mesh(self):
+        mesh = MeshInterconnect(CFG)
+        for a in [(0, 0), (3, 2), (8, 5)]:
+            for b in [(15, 7), (0, 7), (12, 0)]:
+                assert self.net.latency(a, b) <= mesh.latency(a, b)
+
+    def test_lsu_column_reachable(self):
+        assert self.net.latency((0, -1), (0, 0)) == 1
+        assert self.net.latency((10, -1), (0, 7)) > 1
+
+    @given(a=_coord, b=_coord)
+    def test_symmetry(self, a, b):
+        assert self.net.latency(a, b) == self.net.latency(b, a)
+
+    @given(a=_coord, b=_coord)
+    def test_positive_between_distinct(self, a, b):
+        if a != b:
+            assert self.net.latency(a, b) >= 1
+
+
+class TestBuildInterconnect:
+    @pytest.mark.parametrize("kind,cls", [
+        (InterconnectKind.MESH, MeshInterconnect),
+        (InterconnectKind.ROW_SLICE, RowSliceInterconnect),
+        (InterconnectKind.MESH_NOC, MeshNocInterconnect),
+    ])
+    def test_factory(self, kind, cls):
+        from dataclasses import replace
+
+        net = build_interconnect(replace(CFG, interconnect=kind))
+        assert isinstance(net, cls)

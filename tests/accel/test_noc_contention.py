@@ -1,0 +1,94 @@
+"""Tests for NoC ring-channel contention (paper §5.2: latency "depends on
+traffic and distance")."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorProgram,
+    ConfiguredNode,
+    DataflowEngine,
+    Operand,
+)
+from repro.isa import Instruction, MachineState, Opcode, x
+
+
+CFG = AcceleratorConfig(rows=16, cols=8)  # MESH_NOC by default
+
+
+def fanout_program(consumers: int) -> AcceleratorProgram:
+    """One producer at (0,0) feeding ``consumers`` PEs across the array in
+    column 7: the horizontal haul makes the NoC the faster path, and all
+    packets depart the row-0 ring simultaneously."""
+    base = 0x1000
+    producer = Instruction(base, Opcode.ADDI, rd=x(5), rs1=x(10), imm=1)
+    nodes = [ConfiguredNode(0, producer, (0, 0),
+                            src1=Operand.from_register(x(10)))]
+    for i in range(consumers):
+        instr = Instruction(base + 4 * (i + 1), Opcode.ADDI,
+                            rd=x(6 + i % 8), rs1=x(5), imm=i)
+        nodes.append(ConfiguredNode(i + 1, instr, (i % 8, 7),
+                                    src1=Operand.node(0)))
+    return AcceleratorProgram(
+        config=CFG, nodes=nodes, loop_branch_id=None,
+        live_in={x(10)},
+        live_out={x(6 + i % 8): i + 1 for i in range(consumers)},
+    )
+
+
+def run_fanout(consumers: int):
+    state = MachineState()
+    state.write(x(10), 1)
+    engine = DataflowEngine(fanout_program(consumers))
+    return engine.run(state)
+
+
+class TestNocContention:
+    def test_single_packet_no_wait(self):
+        run = run_fanout(1)
+        assert run.activity.noc_wait_cycles == 0
+
+    def test_fanout_serializes_on_the_ring(self):
+        run = run_fanout(6)
+        assert run.activity.noc_wait_cycles > 0, (
+            "six simultaneous packets from one row must queue")
+
+    def test_contention_grows_with_traffic(self):
+        light = run_fanout(2)
+        heavy = run_fanout(8)
+        assert (heavy.activity.noc_wait_cycles
+                > light.activity.noc_wait_cycles)
+
+    def test_contention_delays_completion(self):
+        light = run_fanout(1)
+        heavy = run_fanout(8)
+        # The last consumer's latency includes queueing behind 7 packets.
+        last_light = light.latency.node_latency(1)
+        last_heavy = max(heavy.latency.node_latency(i) for i in range(1, 9))
+        assert last_heavy > last_light
+
+    def test_functional_result_unaffected(self):
+        state = MachineState()
+        state.write(x(10), 1)
+        DataflowEngine(fanout_program(4)).run(state)
+        # Each consumer computed producer(=2) + i.
+        for i in range(4):
+            assert state.read(x(6 + i)) == 2 + i
+
+    def test_neighbor_transfers_bypass_the_noc(self):
+        base = 0x1000
+        nodes = [
+            ConfiguredNode(0, Instruction(base, Opcode.ADDI, rd=x(5),
+                                          rs1=x(10), imm=1), (0, 0),
+                           src1=Operand.from_register(x(10))),
+            ConfiguredNode(1, Instruction(base + 4, Opcode.ADDI, rd=x(6),
+                                          rs1=x(5), imm=1), (0, 1),
+                           src1=Operand.node(0)),
+        ]
+        program = AcceleratorProgram(config=CFG, nodes=nodes,
+                                     loop_branch_id=None,
+                                     live_in={x(10)}, live_out={x(6): 1})
+        state = MachineState()
+        run = DataflowEngine(program).run(state)
+        assert run.activity.noc_hops == 0
+        assert run.activity.local_hops == 1

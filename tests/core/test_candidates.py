@@ -1,0 +1,111 @@
+"""Tests for candidate-matrix generation (paper §3.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.accel import AcceleratorConfig, PEGrid
+from repro.core import CandidateStrategy, candidate_mask
+from repro.isa import OpClass
+
+
+def grid(rows=16, cols=8, fp=1.0) -> PEGrid:
+    return PEGrid(AcceleratorConfig(rows=rows, cols=cols, fp_fraction=fp))
+
+
+class TestFixedWindow:
+    def test_window_size_honoured(self):
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, grid(),
+                              OpClass.INT_ALU, anchor=(8, 4), window=(4, 8))
+        assert mask.sum() == 4 * 8
+
+    def test_window_centred_on_anchor(self):
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, grid(),
+                              OpClass.INT_ALU, anchor=(8, 4), window=(4, 4))
+        rows, cols = np.nonzero(mask)
+        assert 8 in rows and 4 in cols
+        assert rows.min() >= 6 and rows.max() <= 9
+
+    def test_window_clipped_at_corner(self):
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, grid(),
+                              OpClass.INT_ALU, anchor=(0, 0), window=(4, 8))
+        assert mask.sum() == 32, "window slides inside, never shrinks"
+        rows, cols = np.nonzero(mask)
+        assert rows.min() == 0 and cols.min() == 0
+
+    def test_lsu_anchor_pulls_to_edge(self):
+        """An anchor at column -1 (an LSU entry) anchors near column 0."""
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, grid(),
+                              OpClass.INT_ALU, anchor=(5, -1), window=(4, 4))
+        _, cols = np.nonzero(mask)
+        assert cols.min() == 0
+
+    def test_none_anchor_defaults_to_origin(self):
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, grid(),
+                              OpClass.INT_ALU, anchor=None, window=(2, 2))
+        rows, cols = np.nonzero(mask)
+        assert rows.min() == 0 and cols.min() == 0
+
+    def test_occupied_cells_excluded(self):
+        g = grid()
+        g.occupy((8, 4), 0)
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, g,
+                              OpClass.INT_ALU, anchor=(8, 4))
+        assert not mask[8, 4]
+
+    def test_fop_applied(self):
+        g = grid(fp=0.0)
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, g,
+                              OpClass.FP_MUL, anchor=(8, 4))
+        assert not mask.any()
+
+
+class TestEnclosingRect:
+    def test_rectangle_between_predecessors(self):
+        mask = candidate_mask(CandidateStrategy.ENCLOSING_RECT, grid(),
+                              OpClass.INT_ALU, anchor=(2, 1), other=(5, 6))
+        rows, cols = np.nonzero(mask)
+        assert rows.min() == 2 and rows.max() == 5
+        assert cols.min() == 1 and cols.max() == 6
+
+    def test_order_of_predecessors_irrelevant(self):
+        a = candidate_mask(CandidateStrategy.ENCLOSING_RECT, grid(),
+                           OpClass.INT_ALU, anchor=(5, 6), other=(2, 1))
+        b = candidate_mask(CandidateStrategy.ENCLOSING_RECT, grid(),
+                           OpClass.INT_ALU, anchor=(2, 1), other=(5, 6))
+        assert (a == b).all()
+
+    def test_single_predecessor_degenerates_to_cell(self):
+        mask = candidate_mask(CandidateStrategy.ENCLOSING_RECT, grid(),
+                              OpClass.INT_ALU, anchor=(3, 3), other=None)
+        assert mask.sum() == 1
+
+
+class TestFullGrid:
+    def test_covers_everything_available(self):
+        g = grid()
+        g.occupy((0, 0), 1)
+        mask = candidate_mask(CandidateStrategy.FULL_GRID, g,
+                              OpClass.INT_ALU, anchor=None)
+        assert mask.sum() == g.config.num_pes - 1
+
+
+class TestProperties:
+    @given(anchor_row=st.integers(-1, 15), anchor_col=st.integers(-1, 7),
+           strategy=st.sampled_from(list(CandidateStrategy)))
+    def test_mask_subset_of_available(self, anchor_row, anchor_col, strategy):
+        g = grid()
+        g.occupy((4, 4), 9)
+        mask = candidate_mask(strategy, g, OpClass.INT_ALU,
+                              anchor=(anchor_row, anchor_col))
+        available = g.available_mask(OpClass.INT_ALU)
+        assert not (mask & ~available).any()
+
+    @given(rows=st.integers(1, 4), cols=st.integers(1, 8))
+    def test_window_never_exceeds_grid(self, rows, cols):
+        g = grid(rows=4, cols=8)
+        mask = candidate_mask(CandidateStrategy.FIXED_WINDOW, g,
+                              OpClass.INT_ALU, anchor=(2, 2),
+                              window=(rows, cols))
+        assert mask.shape == (4, 8)
+        assert mask.sum() <= rows * cols

@@ -1,0 +1,186 @@
+"""End-to-end tests of the MESA controller."""
+
+import pytest
+
+from repro import M_128, MesaController, MesaOptions, assemble
+from repro.accel import AcceleratorConfig
+from repro.core import RegionCriteria
+from repro.isa import MachineState, x
+from repro.mem import Memory
+
+
+INCREMENT_LOOP = assemble(
+    """
+    addi t0, zero, 400
+    loop:
+        lw   t1, 0(a0)
+        addi t1, t1, 1
+        sw   t1, 0(a0)
+        addi a0, a0, 4
+        addi t0, t0, -1
+        bne  t0, zero, loop
+    """
+)
+
+
+def increment_state():
+    state = MachineState(pc=INCREMENT_LOOP.base_address)
+    memory = Memory()
+    memory.store_words(0x4000, [5] * 500)
+    state.memory = memory
+    state.write(x(10), 0x4000)
+    return state
+
+
+@pytest.fixture(scope="module")
+def accelerated_result():
+    controller = MesaController(M_128)
+    return controller.execute(INCREMENT_LOOP, increment_state,
+                              parallelizable=True)
+
+
+class TestAcceleratedExecution:
+    def test_loop_offloaded(self, accelerated_result):
+        assert accelerated_result.accelerated
+        assert accelerated_result.offload_count == 1
+        assert accelerated_result.accel_iterations > 300
+
+    def test_speedup_over_single_core(self, accelerated_result):
+        assert accelerated_result.speedup_vs_single_core > 1.0
+
+    def test_functional_correctness(self, accelerated_result):
+        memory = accelerated_result.final_state.memory
+        for i in range(400):
+            assert memory.load_word(0x4000 + 4 * i) == 6
+        assert memory.load_word(0x4000 + 4 * 400) == 5
+
+    def test_breakdown_accounts_everything(self, accelerated_result):
+        b = accelerated_result.breakdown
+        assert b.cpu_cycles > 0, "warm-up iterations ran on the CPU"
+        assert b.offload_cycles > 0
+        assert b.accel_cycles > 0
+        assert b.return_cycles > 0
+        assert accelerated_result.total_cycles == pytest.approx(
+            b.cpu_cycles + b.offload_cycles + b.accel_cycles
+            + b.return_cycles + b.exposed_config_cycles)
+
+    def test_config_cost_in_paper_range(self, accelerated_result):
+        # Small loop: cost is modest, but must be nonzero and bounded.
+        assert 10 <= accelerated_result.config_cost.total <= 1e4
+
+    def test_loop_plan_tiles_parallel_loop(self, accelerated_result):
+        assert accelerated_result.loop_plan.tile_factor > 1
+
+    def test_memopt_ran(self, accelerated_result):
+        assert accelerated_result.memopt_report is not None
+        assert accelerated_result.memopt_report.prefetched_loads >= 1
+
+    def test_activity_counters_merged(self, accelerated_result):
+        activity = accelerated_result.activity
+        assert activity.loads == accelerated_result.accel_iterations
+        assert activity.stores == accelerated_result.accel_iterations
+
+
+class TestFallbackPaths:
+    def test_no_loop_program_runs_on_cpu(self):
+        program = assemble("addi t0, zero, 1\naddi t1, t0, 2")
+        controller = MesaController(M_128)
+        result = controller.execute(program,
+                                    lambda: MachineState(pc=program.base_address))
+        assert not result.accelerated
+        assert "no hot loop" in result.reason
+        assert result.total_cycles == result.cpu_only.cycles
+
+    def test_low_trip_count_runs_on_cpu(self):
+        program = assemble(
+            """
+            addi t0, zero, 8
+            loop:
+                addi t1, t1, 1
+                addi t0, t0, -1
+                bne t0, zero, loop
+            """
+        )
+        controller = MesaController(M_128)
+        result = controller.execute(program,
+                                    lambda: MachineState(pc=program.base_address))
+        assert not result.accelerated
+        assert any("C3" in r or "amortize" in r for r in [result.reason])
+
+    def test_unmappable_loop_runs_on_cpu(self):
+        config = AcceleratorConfig(rows=2, cols=2, lsu_entries=64)
+        body = "\n".join(f"addi t{1 + i % 5}, t{i % 5}, 1" for i in range(12))
+        program = assemble(
+            f"""
+            addi t0, zero, 200
+            loop:
+                {body}
+                addi t0, t0, -1
+                bne t0, zero, loop
+            """
+        )
+        controller = MesaController(config)
+        result = controller.execute(program,
+                                    lambda: MachineState(pc=program.base_address))
+        assert not result.accelerated
+        assert "mapping failed" in result.reason
+
+    def test_serial_loop_not_tiled_but_accelerated(self):
+        controller = MesaController(M_128)
+        result = controller.execute(INCREMENT_LOOP, increment_state,
+                                    parallelizable=False)
+        assert result.accelerated
+        assert result.loop_plan.tile_factor == 1
+
+    def test_final_state_correct_even_without_acceleration(self):
+        program = assemble(
+            """
+            addi t0, zero, 8
+            loop:
+                addi t1, t1, 2
+                addi t0, t0, -1
+                bne t0, zero, loop
+            """
+        )
+        controller = MesaController(M_128)
+        result = controller.execute(program,
+                                    lambda: MachineState(pc=program.base_address))
+        assert result.final_state.read(x(6)) == 16
+
+
+class TestOptions:
+    def test_iterative_rounds_recorded(self):
+        controller = MesaController(M_128,
+                                    options=MesaOptions(iterative_rounds=2))
+        result = controller.execute(INCREMENT_LOOP, increment_state,
+                                    parallelizable=True)
+        assert result.accelerated
+        assert 1 <= len(result.optimizer_history) <= 2
+
+    def test_memopt_can_be_disabled(self):
+        controller = MesaController(M_128, options=MesaOptions(memopt=False))
+        result = controller.execute(INCREMENT_LOOP, increment_state)
+        assert result.accelerated
+        assert result.memopt_report is None
+
+    def test_criteria_threaded_through(self):
+        options = MesaOptions(criteria=RegionCriteria(
+            min_expected_iterations=100_000))
+        controller = MesaController(M_128, options=options)
+        result = controller.execute(INCREMENT_LOOP, increment_state)
+        assert not result.accelerated
+
+    def test_parallel_beats_serial(self):
+        serial = MesaController(M_128).execute(
+            INCREMENT_LOOP, increment_state, parallelizable=False)
+        parallel = MesaController(M_128).execute(
+            INCREMENT_LOOP, increment_state, parallelizable=True)
+        assert parallel.total_cycles < serial.total_cycles
+
+    def test_config_cache_populated(self):
+        controller = MesaController(M_128)
+        controller.execute(INCREMENT_LOOP, increment_state)
+        loop_start = 0x1004
+        loop_end = 0x1018
+        assert controller.config_cache.lookup(
+            loop_start, loop_end, M_128.name) is not None

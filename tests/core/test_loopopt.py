@@ -1,0 +1,95 @@
+"""Tests for loop-level optimization planning (paper §4.3, Fig. 6)."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, InterconnectKind, M_128
+from repro.core import InstructionMapper, build_ldfg, plan_loop_optimizations
+from repro.isa import assemble
+
+
+def mapped(text: str, config=M_128):
+    ldfg = build_ldfg(list(assemble(text).instructions))
+    return InstructionMapper(config).map(ldfg)
+
+
+SMALL_LOOP = """
+loop:
+    lw t1, 0(a0)
+    addi t1, t1, 1
+    sw t1, 0(a0)
+    addi a0, a0, 4
+    addi t0, t0, -1
+    bne t0, zero, loop
+"""
+
+
+class TestPlanning:
+    def test_serial_loop_never_tiled(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=False)
+        assert plan.tile_factor == 1
+        # Pipelining is the fabric's inherent dataflow overlap and stays on
+        # even for unannotated loops; only tiling needs the annotation.
+        assert plan.pipelined
+
+    def test_parallel_loop_tiled(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       expected_iterations=1000)
+        assert plan.tile_factor > 1
+        assert plan.pipelined
+
+    def test_tile_is_power_of_two(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       expected_iterations=1000)
+        assert plan.tile_factor & (plan.tile_factor - 1) == 0
+
+    def test_tile_bounded_by_pe_capacity(self):
+        config = AcceleratorConfig(rows=4, cols=4, lsu_entries=32)
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP, config),
+                                       parallelizable=True,
+                                       expected_iterations=1000)
+        # 4 PE nodes per instance on a 16-PE array: at most 4 instances.
+        assert plan.tile_factor <= 4
+
+    def test_tile_bounded_by_lsu_capacity(self):
+        config = AcceleratorConfig(rows=16, cols=8, lsu_entries=4)
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP, config),
+                                       parallelizable=True,
+                                       expected_iterations=1000)
+        # 2 LSU entries per instance, 4 total: at most 2 instances.
+        assert plan.tile_factor <= 2
+
+    def test_tile_bounded_by_trip_count(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       expected_iterations=3)
+        assert plan.tile_factor <= 3
+
+    def test_tiling_switch(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       enable_tiling=False)
+        assert plan.tile_factor == 1
+        assert plan.pipelined, "pipelining is independent of tiling"
+
+    def test_pipelining_switch(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       enable_pipelining=False)
+        assert not plan.pipelined
+
+    def test_max_tile_cap(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       expected_iterations=10_000, max_tile=8)
+        assert plan.tile_factor <= 8
+
+    def test_to_execution_options(self):
+        plan = plan_loop_optimizations(mapped(SMALL_LOOP), parallelizable=True,
+                                       expected_iterations=100)
+        options = plan.to_execution_options(max_iterations=50)
+        assert options.pipelined == plan.pipelined
+        assert options.tile_factor == plan.tile_factor
+        assert options.max_iterations == 50
+
+    def test_reason_strings(self):
+        serial = plan_loop_optimizations(mapped(SMALL_LOOP), False)
+        parallel = plan_loop_optimizations(mapped(SMALL_LOOP), True,
+                                           expected_iterations=1000)
+        assert "not annotated" in serial.reason
+        assert "tile" in parallel.reason

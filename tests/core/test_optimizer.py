@@ -1,0 +1,94 @@
+"""Tests for iterative runtime re-optimization (F3)."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, InterconnectKind
+from repro.core import InstructionMapper, IterativeOptimizer, build_ldfg
+from repro.isa import MachineState, assemble, x
+from repro.mem import CacheConfig, HierarchyConfig, Memory, MemoryHierarchy
+
+
+CONFIG = AcceleratorConfig(rows=8, cols=8,
+                           interconnect=InterconnectKind.MESH)
+
+# A streaming loop whose loads miss: the initial AMAT guess (4 cycles) is
+# far below the measured DRAM latency, so re-optimization has real work.
+LOOP_BODY = """
+loop:
+    lw t1, 0(a0)
+    lw t2, 256(a0)
+    add t3, t1, t2
+    sw t3, 512(a0)
+    addi a0, a0, 4
+    addi t0, t0, -1
+    bne t0, zero, loop
+"""
+
+
+def make_ldfg():
+    return build_ldfg(list(assemble(LOOP_BODY).instructions),
+                      initial_amat=4.0)
+
+
+def state_factory():
+    state = MachineState()
+    memory = Memory()
+    memory.store_words(0x4000, list(range(512)))
+    state.memory = memory
+    state.write(x(10), 0x4000)
+    state.write(x(5), 64)
+    return state
+
+
+def small_hierarchy():
+    return MemoryHierarchy(HierarchyConfig(
+        l1=CacheConfig(size_bytes=512, line_bytes=16, associativity=2,
+                       hit_latency=2),
+        l2=CacheConfig(size_bytes=4096, line_bytes=16, associativity=4,
+                       hit_latency=12),
+        dram_latency=80,
+    ))
+
+
+class TestIterativeOptimization:
+    def test_memory_weights_refined_from_measured_amat(self):
+        ldfg = make_ldfg()
+        sdfg = InstructionMapper(CONFIG).map(ldfg)
+        optimizer = IterativeOptimizer(CONFIG)
+        hierarchy = small_hierarchy()
+        optimizer.optimize(ldfg, sdfg, state_factory, hierarchy,
+                           rounds=1, profile_iterations=16)
+        load_entry = ldfg[0]
+        assert load_entry.op_latency != 4.0, (
+            "measured AMAT must replace the initial estimate")
+        assert load_entry.op_latency > 2.0
+
+    def test_history_recorded(self):
+        ldfg = make_ldfg()
+        sdfg = InstructionMapper(CONFIG).map(ldfg)
+        optimizer = IterativeOptimizer(CONFIG)
+        optimizer.optimize(ldfg, sdfg, state_factory, small_hierarchy(),
+                           rounds=3, profile_iterations=8)
+        assert 1 <= len(optimizer.history) <= 3
+        first = optimizer.history[0]
+        assert first.measured_iteration_latency > 0
+        assert first.profile_iterations == 8
+
+    def test_stops_when_no_improvement(self):
+        ldfg = make_ldfg()
+        sdfg = InstructionMapper(CONFIG).map(ldfg)
+        optimizer = IterativeOptimizer(CONFIG, improvement_threshold=10.0)
+        result = optimizer.optimize(ldfg, sdfg, state_factory,
+                                    small_hierarchy(), rounds=5)
+        # An impossible threshold: round 0 must not remap, loop stops there.
+        assert len(optimizer.history) == 1
+        assert not optimizer.history[0].remapped
+        assert result is sdfg
+
+    def test_returns_valid_sdfg(self):
+        ldfg = make_ldfg()
+        sdfg = InstructionMapper(CONFIG).map(ldfg)
+        optimizer = IterativeOptimizer(CONFIG, improvement_threshold=0.0)
+        result = optimizer.optimize(ldfg, sdfg, state_factory,
+                                    small_hierarchy(), rounds=2)
+        assert set(result.positions) == set(sdfg.positions)

@@ -1,0 +1,126 @@
+"""Tests for code-region detection (conditions C1-C3, paper §4.1)."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, M_128
+from repro.core import CodeRegionDetector, RegionCriteria
+from repro.cpu import collect_trace
+from repro.isa import assemble
+
+
+def hot_loop_program(iters=100, body="addi t1, t1, 3"):
+    return assemble(
+        f"""
+        addi t0, zero, {iters}
+        loop:
+            {body}
+            addi t0, t0, -1
+            bne t0, zero, loop
+        """
+    )
+
+
+def detect(program, config=M_128, criteria=None):
+    trace = collect_trace(program)
+    detector = CodeRegionDetector(config, criteria)
+    return detector.detect(trace, program)
+
+
+class TestAcceptance:
+    def test_hot_compute_loop_accepted(self):
+        decisions = detect(hot_loop_program(100))
+        assert len(decisions) == 1
+        assert decisions[0].accepted
+        assert decisions[0].c1_size
+        assert decisions[0].c2_control
+        assert decisions[0].c3_mix
+
+    def test_body_extracted(self):
+        decisions = detect(hot_loop_program(100))
+        assert len(decisions[0].body) == 3
+
+    def test_best_region_returns_accepted(self):
+        program = hot_loop_program(100)
+        trace = collect_trace(program)
+        decision = CodeRegionDetector(M_128).best_region(trace, program)
+        assert decision is not None and decision.accepted
+
+
+class TestC1Size:
+    def test_oversized_loop_rejected(self):
+        config = AcceleratorConfig(rows=2, cols=2, lsu_entries=1)
+        body = "\n".join(f"addi s{i % 4}, s{i % 4}, 1" for i in range(8))
+        decisions = detect(hot_loop_program(100, body), config)
+        assert decisions and not decisions[0].c1_size
+        assert any("C1" in r for r in decisions[0].reasons)
+
+
+class TestC2Control:
+    def test_inner_loop_rejected(self):
+        program = assemble(
+            """
+            addi s0, zero, 60
+            outer:
+                addi t0, zero, 60
+                inner:
+                    addi t1, t1, 1
+                    addi t0, t0, -1
+                    bne t0, zero, inner
+                addi s0, s0, -1
+                bne s0, zero, outer
+            """
+        )
+        decisions = detect(program)
+        outer = [d for d in decisions if len(d.body) > 3]
+        assert outer and not outer[0].c2_control
+        assert any("inner backward branch" in r for r in outer[0].reasons)
+        inner = [d for d in decisions if len(d.body) == 3]
+        assert inner and inner[0].accepted, "the inner loop itself is fine"
+
+    def test_fp_loop_rejected_without_fp_pes(self):
+        config = AcceleratorConfig(rows=8, cols=8, fp_fraction=0.0)
+        decisions = detect(hot_loop_program(100, "fadd.s ft0, ft0, ft1"),
+                           config)
+        assert decisions and not decisions[0].c2_control
+        assert any("no PE supports" in r for r in decisions[0].reasons)
+
+    def test_forward_branch_inside_body_allowed(self):
+        program = assemble(
+            """
+            addi t0, zero, 100
+            loop:
+                beq t1, zero, skip
+                addi t2, t2, 1
+            skip:
+                addi t0, t0, -1
+                bne t0, zero, loop
+            """
+        )
+        decisions = detect(program)
+        assert decisions[0].c2_control
+
+
+class TestC3Mix:
+    def test_low_trip_count_rejected(self):
+        decisions = detect(hot_loop_program(10),
+                           criteria=RegionCriteria(min_expected_iterations=50))
+        assert decisions and not decisions[0].c3_mix
+        assert any("amortize" in r for r in decisions[0].reasons)
+
+    def test_trip_count_threshold_configurable(self):
+        decisions = detect(hot_loop_program(10),
+                           criteria=RegionCriteria(min_expected_iterations=5))
+        assert decisions[0].c3_mix
+
+    def test_work_fraction(self):
+        # 1 compute instruction out of a 4-instruction body with a nop.
+        decisions = detect(
+            hot_loop_program(100, "nop\nnop\nnop\nnop\nmul t1, t1, t1"),
+            criteria=RegionCriteria(min_work_fraction=0.9),
+        )
+        assert decisions and not decisions[0].c3_mix
+
+    def test_reasons_accumulate(self):
+        decisions = detect(hot_loop_program(10),
+                           criteria=RegionCriteria(min_expected_iterations=50))
+        assert len(decisions[0].reasons) >= 1

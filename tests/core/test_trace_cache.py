@@ -1,0 +1,103 @@
+"""Tests for the trace cache (paper §4.1)."""
+
+import pytest
+
+from repro.core import TraceCache
+from repro.isa import assemble
+
+
+PROGRAM = assemble(
+    """
+    addi t0, zero, 5
+    loop:
+        addi t1, t1, 1
+        addi t0, t0, -1
+        bne t0, zero, loop
+    """
+)
+LOOP_START = 0x1004
+LOOP_END = 0x100C
+
+
+class TestCapture:
+    def test_passive_fill(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        for instr in PROGRAM:
+            cache.observe_fetch(instr)
+        assert cache.complete
+        assert cache.passive_fills == 3
+
+    def test_out_of_region_ignored(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        assert not cache.observe_fetch(PROGRAM[0])  # prologue addi
+
+    def test_duplicates_not_recaptured(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        instr = PROGRAM.at(LOOP_START)
+        assert cache.observe_fetch(instr)
+        assert not cache.observe_fetch(instr)
+        assert cache.passive_fills == 1
+
+    def test_body_in_address_order(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        # Feed in reverse to prove ordering comes from addresses.
+        for instr in reversed(PROGRAM.instructions):
+            cache.observe_fetch(instr)
+        body = cache.body()
+        assert [i.address for i in body] == [0x1004, 0x1008, 0x100C]
+
+    def test_missing_addresses(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        cache.observe_fetch(PROGRAM.at(LOOP_START))
+        assert cache.missing_addresses() == [0x1008, 0x100C]
+        assert not cache.complete
+
+    def test_stall_fill(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        fetched = cache.fill_missing(PROGRAM)
+        assert fetched == 3
+        assert cache.stall_fills == 3
+        assert cache.complete
+
+
+class TestErrors:
+    def test_capacity_enforced(self):
+        cache = TraceCache(capacity=2)
+        with pytest.raises(ValueError, match="exceeds capacity"):
+            cache.set_region(LOOP_START, LOOP_END)
+
+    def test_body_without_region(self):
+        with pytest.raises(RuntimeError, match="no code region"):
+            TraceCache(capacity=4).body()
+
+    def test_body_incomplete(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        with pytest.raises(RuntimeError, match="incomplete"):
+            cache.body()
+
+    def test_region_reset_clears(self):
+        cache = TraceCache(capacity=16)
+        cache.set_region(LOOP_START, LOOP_END)
+        cache.fill_missing(PROGRAM)
+        cache.set_region(LOOP_START, LOOP_START)
+        assert cache.missing_addresses() == [LOOP_START]
+        assert cache.passive_fills == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceCache(capacity=0)
+
+    def test_inverted_region(self):
+        with pytest.raises(ValueError):
+            TraceCache(capacity=8).set_region(8, 4)
+
+    def test_no_region_observe_is_noop(self):
+        cache = TraceCache(capacity=4)
+        assert not cache.observe_fetch(PROGRAM[0])

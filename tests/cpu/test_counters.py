@@ -1,0 +1,71 @@
+"""Tests for CPU performance counters."""
+
+import pytest
+
+from repro.cpu import PerfCounters
+from repro.isa import Instruction, OpClass, Opcode, x
+
+
+def counted(*opcodes) -> PerfCounters:
+    counters = PerfCounters()
+    for op in opcodes:
+        counters.note(Instruction(0, op, rd=x(1), rs1=x(2), rs2=x(3)))
+    return counters
+
+
+class TestClassification:
+    def test_note_counts_instructions(self):
+        counters = counted(Opcode.ADD, Opcode.ADD, Opcode.MUL)
+        assert counters.instructions == 3
+        assert counters.by_class[OpClass.INT_ALU] == 2
+        assert counters.by_class[OpClass.INT_MUL] == 1
+
+    def test_memory_properties(self):
+        counters = counted(Opcode.LW, Opcode.LW, Opcode.SW)
+        assert counters.loads == 2
+        assert counters.stores == 1
+        assert counters.memory_ops == 3
+
+    def test_branch_properties(self):
+        counters = counted(Opcode.BEQ, Opcode.JAL)
+        assert counters.branches == 2
+
+    def test_fp_and_compute(self):
+        counters = counted(Opcode.FADD_S, Opcode.FMUL_S, Opcode.ADD,
+                           Opcode.LW)
+        assert counters.fp_ops == 2
+        assert counters.compute_ops == 3, "fp + int alu, not the load"
+
+    def test_ipc(self):
+        counters = counted(Opcode.ADD, Opcode.ADD)
+        counters.cycles = 4
+        assert counters.ipc == pytest.approx(0.5)
+        assert PerfCounters().ipc == 0.0
+
+    def test_count_helper(self):
+        counters = counted(Opcode.LW, Opcode.SW, Opcode.ADD)
+        assert counters.count(OpClass.LOAD, OpClass.STORE) == 2
+
+
+class TestMerged:
+    def test_merged_sums_counts(self):
+        a = counted(Opcode.ADD, Opcode.LW)
+        b = counted(Opcode.ADD, Opcode.FMUL_S)
+        a.branch_mispredicts = 2
+        b.branch_mispredicts = 3
+        merged = a.merged(b)
+        assert merged.instructions == 4
+        assert merged.by_class[OpClass.INT_ALU] == 2
+        assert merged.branch_mispredicts == 5
+
+    def test_merged_takes_max_cycles(self):
+        """Parallel cores overlap: wall-clock is the slower one."""
+        a, b = PerfCounters(cycles=100), PerfCounters(cycles=250)
+        assert a.merged(b).cycles == 250
+
+    def test_merged_does_not_mutate(self):
+        a = counted(Opcode.ADD)
+        b = counted(Opcode.SUB)
+        a.merged(b)
+        assert a.instructions == 1
+        assert b.instructions == 1

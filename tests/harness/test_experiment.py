@@ -1,0 +1,80 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.accel import M_128, M_64
+from repro.harness import ExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ExperimentRunner(iterations=96)
+
+
+class TestSystems:
+    def test_single_core(self, runner):
+        result = runner.single_core("nn")
+        assert result.system == "single-core"
+        assert result.cycles > 0
+        assert result.energy_pj > 0
+
+    def test_multicore_faster_than_single_for_parallel(self, runner):
+        single = runner.single_core("nn")
+        multi = runner.multicore("nn", cores=16)
+        assert multi.cycles < single.cycles
+
+    def test_multicore_serial_kernel_no_speedup(self, runner):
+        single = runner.single_core("myocyte")
+        multi = runner.multicore("myocyte", cores=16)
+        assert multi.cycles >= single.cycles * 0.99
+
+    def test_mesa_accelerates_nn(self, runner):
+        result = runner.mesa("nn", M_128)
+        assert result.accelerated
+        assert result.cycles > 0
+        assert result.energy_pj > 0
+        assert "mesa" in result.details
+
+    def test_mesa_rejects_srad(self, runner):
+        result = runner.mesa("srad", M_128)
+        assert not result.accelerated
+        single = runner.single_core("srad")
+        assert result.cycles == pytest.approx(single.cycles)
+
+    def test_opencgra_schedules_fig12_kernel(self, runner):
+        result = runner.opencgra("gaussian")
+        assert result.details["ipc"] > 0
+        assert result.cycles > 0
+
+    def test_dynaspam_fits_small_kernel(self, runner):
+        result = runner.dynaspam("gaussian")
+        assert result.cycles > 0
+        assert "mapping" in result.details or "fallback" in result.details
+
+    def test_dynaspam_strips_inner_loops(self, runner):
+        """srad's inner loop is unrolled for the in-pipeline fabric."""
+        result = runner.dynaspam("srad")
+        assert result.cycles > 0
+
+    def test_kernel_cache_reuse(self, runner):
+        a = runner.kernel("nn")
+        b = runner.kernel("nn")
+        assert a is b
+
+    def test_energy_accounting_nonnegative(self, runner):
+        for name in ("nn", "bfs", "myocyte"):
+            result = runner.mesa(name, M_64)
+            assert result.energy_pj >= 0
+
+
+class TestSpeedupRelationships:
+    def test_mesa_beats_single_core_on_parallel_compute(self, runner):
+        single = runner.single_core("kmeans")
+        mesa = runner.mesa("kmeans", M_128)
+        assert mesa.accelerated
+        assert mesa.cycles < single.cycles
+
+    def test_mesa_more_energy_efficient_than_multicore(self, runner):
+        multi = runner.multicore("kmeans")
+        mesa = runner.mesa("kmeans", M_128)
+        assert mesa.energy_pj < multi.energy_pj

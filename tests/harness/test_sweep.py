@@ -1,0 +1,67 @@
+"""Tests for the design-space sweep driver."""
+
+import pytest
+
+from repro.accel import AcceleratorConfig, M_128, M_64
+from repro.harness import pe_count_configs, sweep_backends
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_backends(["nn", "srad"], [M_64, M_128], iterations=96)
+
+
+class TestSweep:
+    def test_all_points_present(self, sweep):
+        assert len(sweep.points) == 4
+        assert sweep.kernels() == ["nn", "srad"]
+        assert sweep.configs() == ["M-64", "M-128"]
+
+    def test_point_lookup(self, sweep):
+        point = sweep.point("nn", "M-128")
+        assert point.accelerated
+        assert point.speedup > 1.0
+        with pytest.raises(KeyError):
+            sweep.point("nn", "M-1024")
+
+    def test_non_qualifying_kernel_marked(self, sweep):
+        point = sweep.point("srad", "M-128")
+        assert not point.accelerated
+        assert point.speedup == 1.0
+        assert point.reason
+
+    def test_best_config(self, sweep):
+        best = sweep.best_config("nn")
+        assert best.config_name in ("M-64", "M-128")
+        assert best.speedup == max(
+            p.speedup for p in sweep.points if p.kernel == "nn")
+
+    def test_render_matrix(self, sweep):
+        text = sweep.render("speedup")
+        assert "M-64" in text and "M-128" in text
+        assert "cpu" in text, "non-qualifying cells rendered as 'cpu'"
+
+    def test_render_other_metric(self, sweep):
+        text = sweep.render("tile_factor")
+        assert "tile_factor" in text
+
+
+class TestPeCountConfigs:
+    def test_geometries(self):
+        configs = pe_count_configs((16, 128))
+        assert [c.num_pes for c in configs] == [16, 128]
+        assert all(c.memory_ports == 8 for c in configs)
+        assert configs[0].name == "M-16"
+
+    def test_fixed_memory_system(self):
+        configs = pe_count_configs((32, 256), lsu_entries=48, memory_ports=4)
+        assert all(c.lsu_entries == 48 and c.memory_ports == 4
+                   for c in configs)
+
+    def test_larger_arrays_scale_speedup(self):
+        sweep = sweep_backends(["kmeans"],
+                               pe_count_configs((16, 128)),
+                               iterations=192)
+        small = sweep.point("kmeans", "M-16")
+        large = sweep.point("kmeans", "M-128")
+        assert large.speedup >= small.speedup

@@ -1,0 +1,61 @@
+"""Integration: the whole system is deterministic.
+
+Every model is seeded and RNG-free at runtime, so repeated executions of
+the same experiment must agree to the bit — the property that makes the
+benchmark harness's recorded numbers meaningful.
+"""
+
+import pytest
+
+from repro.accel import M_128
+from repro.core import MesaController, MesaOptions
+from repro.harness import ExperimentRunner
+from repro.workloads import GeneratorParams, build_kernel, generate_kernel
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["nn", "bfs", "pathfinder"])
+    def test_controller_cycles_repeatable(self, name):
+        results = []
+        for _ in range(2):
+            kernel = build_kernel(name, iterations=128)
+            controller = MesaController(M_128)
+            result = controller.execute(kernel.program, kernel.state_factory,
+                                        parallelizable=kernel.parallelizable)
+            results.append(result)
+        a, b = results
+        assert a.total_cycles == b.total_cycles
+        assert a.accel_iterations == b.accel_iterations
+        assert a.config_cost.total == b.config_cost.total
+        assert a.final_state.snapshot() == b.final_state.snapshot()
+
+    def test_mapping_placement_repeatable(self):
+        kernel = build_kernel("lavamd", iterations=64)
+        placements = []
+        for _ in range(2):
+            controller = MesaController(M_128)
+            result = controller.execute(kernel.program, kernel.state_factory)
+            placements.append(result.sdfg.positions)
+        assert placements[0] == placements[1]
+
+    def test_experiment_runner_repeatable(self):
+        cycles = []
+        energy = []
+        for _ in range(2):
+            runner = ExperimentRunner(iterations=96)
+            result = runner.mesa("kmeans", M_128)
+            cycles.append(result.cycles)
+            energy.append(result.energy_pj)
+        assert cycles[0] == cycles[1]
+        assert energy[0] == energy[1]
+
+    def test_generated_kernel_repeatable_through_pipeline(self):
+        totals = []
+        for _ in range(2):
+            kernel = generate_kernel(GeneratorParams(seed=42, iterations=48))
+            controller = MesaController(
+                M_128, options=MesaOptions(iterative_rounds=1))
+            result = controller.execute(kernel.program, kernel.state_factory,
+                                        parallelizable=True)
+            totals.append(result.total_cycles)
+        assert totals[0] == totals[1]

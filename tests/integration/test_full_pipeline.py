@@ -1,0 +1,90 @@
+"""Integration: the full MESA pipeline on every Rodinia kernel.
+
+For every kernel that qualifies, the accelerated execution must produce the
+same architectural result as the pure ISA reference model — the strongest
+end-to-end statement the library can make.
+"""
+
+import pytest
+
+from repro.accel import M_128, M_64
+from repro.core import MesaController
+from repro.isa import Executor
+from repro.workloads import build_kernel, kernel_names
+
+QUALIFYING = [n for n in kernel_names() if n not in ("srad", "btree")]
+
+
+@pytest.mark.parametrize("name", kernel_names())
+class TestFunctionalEquivalence:
+    def test_mesa_result_matches_reference(self, name):
+        kernel = build_kernel(name, iterations=96)
+        controller = MesaController(M_128)
+        result = controller.execute(kernel.program, kernel.state_factory,
+                                    parallelizable=kernel.parallelizable)
+        assert kernel.verify(result.final_state), (
+            f"{name}: MESA-executed state diverges from the reference "
+            f"(accelerated={result.accelerated})")
+
+
+@pytest.mark.parametrize("name", QUALIFYING)
+class TestQualifyingKernels:
+    def test_kernel_accelerates(self, name):
+        kernel = build_kernel(name, iterations=192)
+        controller = MesaController(M_128)
+        result = controller.execute(kernel.program, kernel.state_factory,
+                                    parallelizable=kernel.parallelizable)
+        assert result.accelerated, f"{name}: {result.reason}"
+        assert result.accel_iterations > 0
+
+    def test_breakdown_sums(self, name):
+        kernel = build_kernel(name, iterations=192)
+        controller = MesaController(M_128)
+        result = controller.execute(kernel.program, kernel.state_factory,
+                                    parallelizable=kernel.parallelizable)
+        b = result.breakdown
+        assert result.total_cycles == pytest.approx(
+            b.cpu_cycles + b.offload_cycles + b.accel_cycles
+            + b.return_cycles + b.exposed_config_cycles)
+
+    def test_config_latency_bounded(self, name):
+        kernel = build_kernel(name, iterations=192)
+        controller = MesaController(M_128)
+        result = controller.execute(kernel.program, kernel.state_factory)
+        assert result.config_cost is not None
+        assert 0 < result.config_cost.total < 1e4
+
+
+class TestDisqualifyingKernels:
+    @pytest.mark.parametrize("name", ["srad", "btree"])
+    def test_inner_loops_rejected_but_correct(self, name):
+        kernel = build_kernel(name, iterations=64)
+        controller = MesaController(M_128)
+        result = controller.execute(kernel.program, kernel.state_factory,
+                                    parallelizable=kernel.parallelizable)
+        assert not result.accelerated
+        assert kernel.verify(result.final_state)
+
+
+class TestCrossBackendConsistency:
+    @pytest.mark.parametrize("name", ["nn", "hotspot", "pathfinder"])
+    def test_backends_agree_functionally(self, name):
+        """M-64 and M-128 must compute identical results."""
+        states = []
+        for config in (M_64, M_128):
+            kernel = build_kernel(name, iterations=96)
+            controller = MesaController(config)
+            result = controller.execute(kernel.program, kernel.state_factory,
+                                        parallelizable=True)
+            states.append(result.final_state)
+        assert states[0].snapshot() == states[1].snapshot()
+
+    @pytest.mark.parametrize("name", ["nn", "kmeans"])
+    def test_serial_and_parallel_modes_agree(self, name):
+        """Tiling/pipelining change timing, never results."""
+        kernel = build_kernel(name, iterations=96)
+        serial = MesaController(M_128).execute(
+            kernel.program, kernel.state_factory, parallelizable=False)
+        parallel = MesaController(M_128).execute(
+            kernel.program, kernel.state_factory, parallelizable=True)
+        assert serial.final_state.snapshot() == parallel.final_state.snapshot()

@@ -1,0 +1,91 @@
+"""Integration: programs with several hot loops get every region offloaded."""
+
+import pytest
+
+from repro.accel import M_128
+from repro.core import MesaController
+from repro.isa import MachineState, assemble, run, x
+from repro.mem import Memory
+
+TWO_LOOPS = assemble(
+    """
+    # Phase 1: scale an integer array.
+    addi t0, zero, 200
+    lui  a0, 16
+    scale:
+        lw   t1, 0(a0)
+        slli t1, t1, 1
+        sw   t1, 0(a0)
+        addi a0, a0, 4
+        addi t0, t0, -1
+        bne  t0, zero, scale
+    # Phase 2: accumulate a float array.
+    addi t0, zero, 200
+    lui  a1, 32
+    accum:
+        flw    ft0, 0(a1)
+        fadd.s fs0, fs0, ft0
+        addi   a1, a1, 4
+        addi   t0, t0, -1
+        bne    t0, zero, accum
+    """
+)
+
+
+def make_state() -> MachineState:
+    state = MachineState(pc=TWO_LOOPS.base_address)
+    memory = Memory()
+    memory.store_words(0x10000, list(range(220)))
+    memory.store_floats(0x20000, [0.5] * 220)
+    state.memory = memory
+    return state
+
+
+@pytest.fixture(scope="module")
+def result():
+    controller = MesaController(M_128)
+    return controller.execute(TWO_LOOPS, make_state, parallelizable=True)
+
+
+class TestMultiRegion:
+    def test_both_regions_configured(self, result):
+        assert result.accelerated
+        assert len(result.regions) == 2
+
+    def test_both_regions_offloaded(self, result):
+        offloaded = [r for r in result.regions if r.offloads > 0]
+        assert len(offloaded) == 2, (
+            "each hot loop must reach the fabric once configured")
+
+    def test_runs_merged_across_regions(self, result):
+        assert result.accel_iterations == sum(
+            run.iterations for region in result.regions
+            for run in region.runs)
+
+    def test_functional_correctness(self, result):
+        reference = make_state()
+        run(TWO_LOOPS, reference, max_steps=1_000_000)
+        memory = result.final_state.memory
+        for i in range(210):
+            assert memory.load_word(0x10000 + 4 * i) == \
+                reference.memory.load_word(0x10000 + 4 * i)
+        assert result.final_state.read(x(8 + 32 - 32)) == reference.read(
+            x(8)), "int regs"
+        from repro.isa import f
+
+        assert result.final_state.read(f(8)) == reference.read(f(8)), (
+            "the float accumulation must survive both offloads")
+
+    def test_regions_have_distinct_entries(self, result):
+        entries = {r.loop.start_address for r in result.regions}
+        assert len(entries) == 2
+
+    def test_speedup_over_single_core(self, result):
+        assert result.speedup_vs_single_core > 1.0
+
+    def test_primary_is_a_running_region(self, result):
+        assert result.decision is not None
+        primary_entry = result.decision.loop.start_address
+        region = next(r for r in result.regions
+                      if r.loop.start_address == primary_entry)
+        assert region.runs

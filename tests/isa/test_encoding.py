@@ -1,0 +1,188 @@
+"""Tests for the 32-bit machine-word codec, including round-trip properties."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import (
+    EncodingError,
+    Instruction,
+    OpClass,
+    Opcode,
+    OPCODE_CLASS,
+    decode,
+    encode,
+    f,
+    x,
+)
+
+
+class TestKnownEncodings:
+    """Spot-check words against the RISC-V spec's worked examples."""
+
+    def test_addi(self):
+        # addi x15, x1, -50  => imm=0xFCE, rs1=1, funct3=0, rd=15, opcode=0x13
+        word = encode(Instruction(0, Opcode.ADDI, rd=x(15), rs1=x(1), imm=-50))
+        assert word == 0xFCE08793
+
+    def test_add(self):
+        # add x5, x6, x7
+        word = encode(Instruction(0, Opcode.ADD, rd=x(5), rs1=x(6), rs2=x(7)))
+        assert word == 0x007302B3
+
+    def test_lw(self):
+        # lw x14, 8(x2)
+        word = encode(Instruction(0, Opcode.LW, rd=x(14), rs1=x(2), imm=8))
+        assert word == 0x00812703
+
+    def test_sw(self):
+        # sw x14, 8(x2)
+        word = encode(Instruction(0, Opcode.SW, rs1=x(2), rs2=x(14), imm=8))
+        assert word == 0x00E12423
+
+    def test_nop_is_addi_x0(self):
+        assert encode(Instruction(0, Opcode.NOP)) == 0x00000013
+        assert decode(0x00000013).opcode is Opcode.NOP
+
+    def test_ecall_ebreak(self):
+        assert encode(Instruction(0, Opcode.ECALL)) == 0x00000073
+        assert encode(Instruction(0, Opcode.EBREAK)) == 0x00100073
+        assert decode(0x00000073).opcode is Opcode.ECALL
+        assert decode(0x00100073).opcode is Opcode.EBREAK
+
+
+class TestEncodeErrors:
+    def test_immediate_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(0, Opcode.ADDI, rd=x(1), rs1=x(1), imm=5000))
+
+    def test_odd_branch_offset(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(0, Opcode.BEQ, rs1=x(1), rs2=x(2), imm=3))
+
+    def test_shift_amount_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(0, Opcode.SLLI, rd=x(1), rs1=x(1), imm=40))
+
+    def test_decode_garbage(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFFFFFF)
+
+
+def _same_fields(a: Instruction, b: Instruction) -> bool:
+    return (
+        a.opcode is b.opcode
+        and a.rd == b.rd
+        and a.rs1 == b.rs1
+        and a.rs2 == b.rs2
+        and a.imm == b.imm
+    )
+
+
+_reg = st.integers(min_value=0, max_value=31)
+_imm12 = st.integers(min_value=-2048, max_value=2047)
+
+
+class TestRoundTripProperties:
+    @given(op=st.sampled_from(sorted(
+        [o for o, c in OPCODE_CLASS.items() if c is OpClass.INT_ALU
+         and o not in (Opcode.ADDI, Opcode.SLTI, Opcode.SLTIU, Opcode.XORI,
+                       Opcode.ORI, Opcode.ANDI, Opcode.SLLI, Opcode.SRLI,
+                       Opcode.SRAI, Opcode.LUI, Opcode.AUIPC, Opcode.NOP,
+                       Opcode.ADDIW, Opcode.SLLIW, Opcode.SRLIW,
+                       Opcode.SRAIW)]
+        + [o for o, c in OPCODE_CLASS.items()
+           if c in (OpClass.INT_MUL, OpClass.INT_DIV)],
+        key=lambda o: o.value,
+    )), rd=_reg, rs1=_reg, rs2=_reg)
+    def test_r_type_round_trip(self, op, rd, rs1, rs2):
+        instr = Instruction(0, op, rd=x(rd), rs1=x(rs1), rs2=x(rs2))
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(op=st.sampled_from([Opcode.ADDI, Opcode.SLTI, Opcode.XORI,
+                               Opcode.ORI, Opcode.ANDI]),
+           rd=_reg, rs1=_reg, imm=_imm12)
+    def test_i_type_round_trip(self, op, rd, rs1, imm):
+        instr = Instruction(0, op, rd=x(rd), rs1=x(rs1), imm=imm)
+        decoded = decode(encode(instr))
+        if instr.opcode is Opcode.ADDI and rd == 0 and rs1 == 0 and imm == 0:
+            assert decoded.opcode is Opcode.NOP  # canonical NOP
+        else:
+            assert _same_fields(decoded, instr)
+
+    @given(op=st.sampled_from([Opcode.LB, Opcode.LH, Opcode.LW,
+                               Opcode.LBU, Opcode.LHU]),
+           rd=_reg, rs1=_reg, imm=_imm12)
+    def test_load_round_trip(self, op, rd, rs1, imm):
+        instr = Instruction(0, op, rd=x(rd), rs1=x(rs1), imm=imm)
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(op=st.sampled_from([Opcode.SB, Opcode.SH, Opcode.SW]),
+           rs1=_reg, rs2=_reg, imm=_imm12)
+    def test_store_round_trip(self, op, rs1, rs2, imm):
+        instr = Instruction(0, op, rs1=x(rs1), rs2=x(rs2), imm=imm)
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(op=st.sampled_from([Opcode.BEQ, Opcode.BNE, Opcode.BLT,
+                               Opcode.BGE, Opcode.BLTU, Opcode.BGEU]),
+           rs1=_reg, rs2=_reg,
+           imm=st.integers(min_value=-2048, max_value=2047).map(lambda v: v * 2))
+    def test_branch_round_trip(self, op, rs1, rs2, imm):
+        instr = Instruction(0, op, rs1=x(rs1), rs2=x(rs2), imm=imm)
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(rd=_reg,
+           imm=st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1)
+           .map(lambda v: v * 2))
+    def test_jal_round_trip(self, rd, imm):
+        instr = Instruction(0, Opcode.JAL, rd=x(rd), imm=imm)
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(op=st.sampled_from([Opcode.FADD_S, Opcode.FSUB_S, Opcode.FMUL_S,
+                               Opcode.FDIV_S, Opcode.FMIN_S, Opcode.FMAX_S,
+                               Opcode.FSGNJ_S, Opcode.FSGNJN_S, Opcode.FSGNJX_S]),
+           rd=_reg, rs1=_reg, rs2=_reg)
+    def test_fp_r_type_round_trip(self, op, rd, rs1, rs2):
+        instr = Instruction(0, op, rd=f(rd), rs1=f(rs1), rs2=f(rs2))
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(rd=_reg, rs1=_reg, imm=_imm12)
+    def test_flw_fsw_round_trip(self, rd, rs1, imm):
+        load = Instruction(0, Opcode.FLW, rd=f(rd), rs1=x(rs1), imm=imm)
+        store = Instruction(0, Opcode.FSW, rs1=x(rs1), rs2=f(rd), imm=imm)
+        assert _same_fields(decode(encode(load)), load)
+        assert _same_fields(decode(encode(store)), store)
+
+    @given(op=st.sampled_from([Opcode.FEQ_S, Opcode.FLT_S, Opcode.FLE_S]),
+           rd=_reg, rs1=_reg, rs2=_reg)
+    def test_fp_compare_writes_int_rd(self, op, rd, rs1, rs2):
+        instr = Instruction(0, op, rd=x(rd), rs1=f(rs1), rs2=f(rs2))
+        assert _same_fields(decode(encode(instr)), instr)
+
+    @given(rd=_reg, rs1=_reg)
+    def test_fp_unary_round_trip(self, rd, rs1):
+        for op, rd_reg, rs_reg in [
+            (Opcode.FSQRT_S, f(rd), f(rs1)),
+            (Opcode.FCVT_W_S, x(rd), f(rs1)),
+            (Opcode.FCVT_S_W, f(rd), x(rs1)),
+            (Opcode.FMV_X_W, x(rd), f(rs1)),
+            (Opcode.FMV_W_X, f(rd), x(rs1)),
+        ]:
+            instr = Instruction(0, op, rd=rd_reg, rs1=rs_reg)
+            assert _same_fields(decode(encode(instr)), instr)
+
+    @given(rd=_reg, imm=st.integers(min_value=0, max_value=(1 << 20) - 1))
+    def test_lui_auipc_round_trip(self, rd, imm):
+        for op in (Opcode.LUI, Opcode.AUIPC):
+            instr = Instruction(0, op, rd=x(rd), imm=imm)
+            assert _same_fields(decode(encode(instr)), instr)
+
+    @given(word=st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_decode_never_crashes_unexpectedly(self, word):
+        """decode either returns an Instruction or raises EncodingError."""
+        try:
+            instr = decode(word)
+        except EncodingError:
+            return
+        except KeyError:
+            pytest.fail(f"decode({word:#x}) leaked a KeyError")
+        assert isinstance(instr, Instruction)

@@ -1,0 +1,78 @@
+"""Tests for the register model."""
+
+import pytest
+
+from repro.isa import FP_ABI_NAMES, INT_ABI_NAMES, RegFile, Register, ZERO, f, parse_register, x
+
+
+class TestRegisterBasics:
+    def test_int_register_construction(self):
+        reg = x(5)
+        assert reg.file is RegFile.INT
+        assert reg.index == 5
+        assert reg.abi_name == "t0"
+
+    def test_fp_register_construction(self):
+        reg = f(10)
+        assert reg.file is RegFile.FP
+        assert reg.abi_name == "fa0"
+
+    def test_zero_register(self):
+        assert ZERO.is_zero
+        assert not x(1).is_zero
+        assert not f(0).is_zero, "f0 is a real register, only x0 is hard-wired"
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            x(32)
+        with pytest.raises(ValueError):
+            Register(RegFile.FP, -1)
+
+    def test_registers_are_hashable_and_comparable(self):
+        assert x(3) == x(3)
+        assert x(3) != f(3)
+        assert len({x(3), x(3), f(3)}) == 2
+
+    def test_str_uses_abi_name(self):
+        assert str(x(10)) == "a0"
+        assert str(f(8)) == "fs0"
+
+
+class TestParseRegister:
+    @pytest.mark.parametrize("name,expected", [
+        ("zero", x(0)),
+        ("ra", x(1)),
+        ("sp", x(2)),
+        ("a0", x(10)),
+        ("t6", x(31)),
+        ("fp", x(8)),
+        ("s0", x(8)),
+        ("x17", x(17)),
+        ("f31", f(31)),
+        ("ft0", f(0)),
+        ("fa7", f(17)),
+        ("fs11", f(27)),
+    ])
+    def test_valid_names(self, name, expected):
+        assert parse_register(name) == expected
+
+    def test_case_and_whitespace_insensitive(self):
+        assert parse_register(" A0 ") == x(10)
+        assert parse_register("X5") == x(5)
+
+    @pytest.mark.parametrize("bad", ["", "x32", "f99", "r1", "a", "q0", "x-1"])
+    def test_invalid_names_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_register(bad)
+
+    def test_abi_tables_cover_all_32(self):
+        assert len(INT_ABI_NAMES) == 32
+        assert len(FP_ABI_NAMES) == 32
+        assert len(set(INT_ABI_NAMES)) == 32
+        assert len(set(FP_ABI_NAMES)) == 32
+
+    def test_every_abi_name_round_trips(self):
+        for i, name in enumerate(INT_ABI_NAMES):
+            assert parse_register(name) == x(i)
+        for i, name in enumerate(FP_ABI_NAMES):
+            assert parse_register(name) == f(i)

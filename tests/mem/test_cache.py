@@ -1,0 +1,131 @@
+"""Tests for the set-associative cache timing model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem import Cache, CacheConfig
+
+
+def small_cache(assoc=2, sets=4, line=16) -> Cache:
+    return Cache(CacheConfig(size_bytes=assoc * sets * line,
+                             line_bytes=line, associativity=assoc))
+
+
+class TestConfigValidation:
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=48, associativity=2)
+
+    def test_rejects_indivisible_geometry(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=64, associativity=8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=0)
+
+    def test_num_sets(self):
+        cfg = CacheConfig(size_bytes=64 * 1024, line_bytes=64, associativity=8)
+        assert cfg.num_sets == 128
+
+
+class TestAccessBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+
+    def test_same_line_hits(self):
+        cache = small_cache(line=16)
+        cache.access(0x100)
+        assert cache.access(0x10F), "same 16B line"
+        assert not cache.access(0x110), "next line"
+
+    def test_lru_eviction(self):
+        cache = small_cache(assoc=2, sets=1, line=16)
+        cache.access(0x00)   # line A
+        cache.access(0x10)   # line B
+        cache.access(0x00)   # touch A -> B is LRU
+        cache.access(0x20)   # line C evicts B
+        assert cache.access(0x00), "A stays"
+        assert not cache.access(0x10), "B was evicted"
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(assoc=1, sets=1, line=16)
+        cache.access(0x00, is_write=True)
+        cache.access(0x10)  # evicts dirty line
+        assert cache.stats.writebacks == 1
+        cache.access(0x20)  # evicts clean line
+        assert cache.stats.writebacks == 1
+
+    def test_write_hit_marks_dirty(self):
+        cache = small_cache(assoc=1, sets=1, line=16)
+        cache.access(0x00)                 # clean fill
+        cache.access(0x00, is_write=True)  # dirty it
+        cache.access(0x10)                 # eviction must write back
+        assert cache.stats.writebacks == 1
+
+    def test_probe_does_not_disturb_state(self):
+        cache = small_cache()
+        cache.access(0x100)
+        hits, misses = cache.stats.hits, cache.stats.misses
+        assert cache.probe(0x100)
+        assert not cache.probe(0x900)
+        assert (cache.stats.hits, cache.stats.misses) == (hits, misses)
+
+    def test_flush_invalidates(self):
+        cache = small_cache()
+        cache.access(0x100)
+        cache.flush()
+        assert not cache.access(0x100)
+
+    def test_stats_rates(self):
+        cache = small_cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.stats.accesses == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+        assert cache.stats.miss_rate == pytest.approx(1 / 3)
+
+    def test_empty_stats(self):
+        cache = small_cache()
+        assert cache.stats.hit_rate == 0.0
+        assert cache.stats.miss_rate == 0.0
+
+
+class TestProperties:
+    @given(addresses=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200))
+    def test_resident_lines_bounded_by_capacity(self, addresses):
+        cache = small_cache(assoc=2, sets=4)
+        for address in addresses:
+            cache.access(address)
+        assert cache.resident_lines <= 8
+
+    @given(addresses=st.lists(st.integers(0, 0xFFFF), min_size=1, max_size=200))
+    def test_hits_plus_misses_equals_accesses(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.accesses == len(addresses)
+
+    @given(address=st.integers(0, 0xFFFFF))
+    def test_repeated_access_always_hits_after_fill(self, address):
+        cache = small_cache()
+        cache.access(address)
+        for _ in range(3):
+            assert cache.access(address)
+
+    @given(addresses=st.lists(st.integers(0, 0xFF), min_size=1, max_size=50))
+    def test_working_set_within_capacity_never_re_misses(self, addresses):
+        """Once a small working set is resident, it never misses again (LRU)."""
+        cache = small_cache(assoc=4, sets=1, line=64)  # 4 lines, 64B each
+        lines = {a // 64 for a in addresses}
+        if len(lines) > 4:
+            return
+        for address in addresses:
+            cache.access(address)
+        cache.reset_stats()
+        for address in addresses:
+            cache.access(address)
+        assert cache.stats.misses == 0

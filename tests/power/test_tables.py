@@ -1,0 +1,84 @@
+"""Tests for the Table 1 area/power constants."""
+
+import pytest
+
+from repro.accel import M_128, M_512, M_64
+from repro.power import (
+    accelerator_components,
+    cpu_core_additions,
+    mesa_extensions,
+    table1_rows,
+)
+
+
+class TestMesaExtensions:
+    def test_top_level_matches_paper(self):
+        top = mesa_extensions()
+        assert top.area_mm2 == pytest.approx(0.502)
+        assert top.power_w == pytest.approx(0.36)
+
+    def test_children_sum_close_to_parent(self):
+        """The ArchModel's leaves should roughly compose its total."""
+        top = mesa_extensions()
+        arch = top.children[0]
+        leaf_area = sum(c.area_mm2 for c in arch.children)
+        assert leaf_area == pytest.approx(arch.area_mm2, rel=0.05)
+
+    def test_sdfg_dominates_mapping(self):
+        """Table 1: area is dominated by the DFG-holding structures."""
+        rows = {r.name: r for r in mesa_extensions().flatten()}
+        assert rows["SDFG"].area_mm2 > rows["Latency Optimizer"].area_mm2 * 10
+        assert rows["LDFG"].area_mm2 > rows["Instr. RenameTable"].area_mm2
+
+    def test_controller_under_ten_percent_of_core(self):
+        """The paper: 'the MESA controller itself uses less than 10% of the
+        area of a single core' (BOOM-class ~6 mm² at 28nm)."""
+        assert mesa_extensions().area_mm2 < 0.6
+
+
+class TestCpuAdditions:
+    def test_matches_paper(self):
+        additions = cpu_core_additions()
+        assert additions.area_mm2 == pytest.approx(0.0307146, rel=1e-3)
+        trace_cache = additions.children[0]
+        assert trace_cache.power_w == pytest.approx(0.015455)
+
+    def test_negligible_per_core(self):
+        assert cpu_core_additions().area_mm2 < 0.05
+
+
+class TestAccelerator:
+    def test_m128_matches_paper_total(self):
+        top = accelerator_components(M_128)
+        assert top.area_mm2 == pytest.approx(26.56, rel=0.01)
+        assert top.power_w == pytest.approx(11.65, rel=0.01)
+
+    def test_pe_array_matches(self):
+        top = accelerator_components(M_128)
+        pe_array = top.children[0]
+        assert pe_array.area_mm2 == pytest.approx(14.95)
+        assert pe_array.power_w == pytest.approx(4.08)
+
+    def test_m64_close_to_paper_quote(self):
+        """§6.2 quotes 'the smallest configuration (M-64) with a synthesized
+        area of 16.4mm²'; the linear scaling model should land near it."""
+        area = accelerator_components(M_64).area_mm2
+        assert area == pytest.approx(16.4, rel=0.25)
+
+    def test_scaling_monotone(self):
+        a64 = accelerator_components(M_64).area_mm2
+        a128 = accelerator_components(M_128).area_mm2
+        a512 = accelerator_components(M_512).area_mm2
+        assert a64 < a128 < a512
+
+    def test_m512_array_scales_4x(self):
+        pe128 = accelerator_components(M_128).children[0]
+        pe512 = accelerator_components(M_512).children[0]
+        assert pe512.area_mm2 == pytest.approx(4 * pe128.area_mm2)
+
+    def test_table1_rows_cover_all_sections(self):
+        names = [r.name for r in table1_rows(M_128)]
+        assert "MESA Top" in names
+        assert "Trace Cache" in names
+        assert any("Accelerator Top" in n for n in names)
+        assert "FP Slice (2x2)" in names

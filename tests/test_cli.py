@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "nn"])
+        assert args.kernel == "nn"
+        assert args.config == "M-128"
+        assert args.iterations == 256
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "quicksort"])
+
+    def test_fig_choices(self):
+        args = build_parser().parse_args(["fig", "16"])
+        assert args.number == "16"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig", "99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_run_kernel(self, capsys):
+        assert main(["run", "nn", "--iterations", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "accelerated: True" in out
+        assert "speedup" in out
+        assert "verified:    ok" in out
+
+    def test_run_disqualifying_kernel(self, capsys):
+        assert main(["run", "srad", "--iterations", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "accelerated: False" in out
+
+    def test_run_serial_flag(self, capsys):
+        assert main(["run", "nn", "--iterations", "96", "--serial"]) == 0
+        out = capsys.readouterr().out
+        assert "tile" not in out.split("plan:")[1].split("\n")[0] \
+            or "no tiling" in out
+
+    def test_table_1(self, capsys):
+        assert main(["table", "1", "--config", "M-64"]) == 0
+        out = capsys.readouterr().out
+        assert "MESA Top" in out
+        assert "M-64" in out
+
+    def test_fig_16(self, capsys):
+        assert main(["fig", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "break-even" in out
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("nn", "srad", "hotspot"):
+            assert name in out

@@ -1,0 +1,56 @@
+"""Tests for the shared operation-latency table."""
+
+import pytest
+
+from repro.isa import Instruction, OpClass, Opcode, x
+from repro.latency import DEFAULT_LATENCIES, LatencyTable
+
+
+class TestLatencyTable:
+    def test_figure2_constants(self):
+        """The defaults match the paper's worked example: add 3, mul 5 (FP)."""
+        assert DEFAULT_LATENCIES.fp_add == 3
+        assert DEFAULT_LATENCIES.fp_mul == 5
+
+    def test_for_class(self):
+        assert DEFAULT_LATENCIES.for_class(OpClass.INT_ALU) == 1
+        assert DEFAULT_LATENCIES.for_class(OpClass.FP_SQRT) == 20
+
+    def test_memory_has_no_constant(self):
+        with pytest.raises(KeyError):
+            DEFAULT_LATENCIES.for_class(OpClass.LOAD)
+        with pytest.raises(KeyError):
+            DEFAULT_LATENCIES.for_class(OpClass.STORE)
+
+    def test_system_has_no_constant(self):
+        with pytest.raises(KeyError):
+            DEFAULT_LATENCIES.for_class(OpClass.SYSTEM)
+
+    def test_for_instruction(self):
+        instr = Instruction(0, Opcode.FMUL_S, rd=x(1), rs1=x(2), rs2=x(3))
+        assert DEFAULT_LATENCIES.for_instruction(instr) == 5
+
+    def test_every_non_memory_class_covered(self):
+        for cls in OpClass:
+            if cls.is_memory or cls is OpClass.SYSTEM:
+                continue
+            assert DEFAULT_LATENCIES.for_class(cls) >= 1
+
+    def test_scaled(self):
+        doubled = DEFAULT_LATENCIES.scaled(2.0)
+        assert doubled.fp_mul == 10
+        assert doubled.int_alu == 2
+
+    def test_scaled_floors_at_one(self):
+        tiny = DEFAULT_LATENCIES.scaled(0.01)
+        assert tiny.int_alu == 1
+        assert tiny.fp_sqrt == 1
+
+    def test_custom_table(self):
+        table = LatencyTable(fp_mul=7)
+        assert table.for_class(OpClass.FP_MUL) == 7
+        assert table.for_class(OpClass.FP_ADD) == 3, "others keep defaults"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_LATENCIES.fp_mul = 9

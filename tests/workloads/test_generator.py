@@ -1,0 +1,55 @@
+"""Tests for the synthetic kernel generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Executor
+from repro.workloads import GeneratorParams, generate_kernel
+
+
+class TestGenerator:
+    def test_default_kernel_runs(self):
+        kernel = generate_kernel(GeneratorParams(iterations=16))
+        Executor(kernel.program, kernel.fresh_state()).run(max_steps=50_000)
+
+    def test_deterministic_per_seed(self):
+        a = generate_kernel(GeneratorParams(seed=3))
+        b = generate_kernel(GeneratorParams(seed=3))
+        assert [str(i) for i in a.program] == [str(i) for i in b.program]
+
+    def test_seeds_differ(self):
+        a = generate_kernel(GeneratorParams(seed=1, compute_ops=10))
+        b = generate_kernel(GeneratorParams(seed=2, compute_ops=10))
+        assert [str(i) for i in a.program] != [str(i) for i in b.program]
+
+    def test_shape_parameters_respected(self):
+        params = GeneratorParams(loads=3, compute_ops=5, stores=2,
+                                 iterations=8)
+        kernel = generate_kernel(params)
+        loads = sum(1 for i in kernel.program if i.is_load)
+        stores = sum(1 for i in kernel.program if i.is_store)
+        assert loads == 3
+        assert stores == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorParams(loads=0)
+        with pytest.raises(ValueError):
+            GeneratorParams(compute_ops=100)
+        with pytest.raises(ValueError):
+            GeneratorParams(fp_fraction=2.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000),
+           loads=st.integers(1, 4),
+           ops=st.integers(1, 12),
+           stores=st.integers(1, 2),
+           fp=st.floats(0.0, 1.0))
+    def test_generated_kernels_always_execute(self, seed, loads, ops, stores, fp):
+        """Property: every generated kernel assembles and runs correctly."""
+        params = GeneratorParams(loads=loads, compute_ops=ops, stores=stores,
+                                 fp_fraction=fp, iterations=4, seed=seed)
+        kernel = generate_kernel(params)
+        executor = Executor(kernel.program, kernel.fresh_state())
+        executor.run(max_steps=20_000)
+        assert executor.instret >= 4 * (loads + stores + 3)

@@ -1,0 +1,101 @@
+"""Tests for the Rodinia kernel suite: assembly validity and functional
+correctness on the reference executor."""
+
+import pytest
+
+from repro.isa import Executor
+from repro.workloads import (
+    FIG11_SET,
+    FIG12_SET,
+    FIG14_SET,
+    build_kernel,
+    kernel_names,
+)
+
+ALL = kernel_names()
+
+
+class TestRegistry:
+    def test_nineteen_kernels(self):
+        assert len(ALL) == 19
+
+    def test_subsets_are_registered(self):
+        for subset in (FIG11_SET, FIG12_SET, FIG14_SET):
+            for name in subset:
+                assert name in ALL
+
+    def test_fig12_has_eight(self):
+        assert len(FIG12_SET) == 8
+
+    def test_fig14_includes_disqualifying_kernels(self):
+        assert "srad" in FIG14_SET
+        assert "btree" in FIG14_SET
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            build_kernel("quicksort")
+
+    def test_iterations_override(self):
+        kernel = build_kernel("nn", iterations=32)
+        assert kernel.iterations == 32
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestFunctionalCorrectness:
+    def test_runs_to_completion(self, name):
+        kernel = build_kernel(name, iterations=48)
+        executor = Executor(kernel.program, kernel.fresh_state())
+        executor.run(max_steps=200_000)
+
+    def test_verifier_passes(self, name):
+        kernel = build_kernel(name, iterations=48)
+        state = kernel.fresh_state()
+        Executor(kernel.program, state).run(max_steps=200_000)
+        assert kernel.verify is not None
+        assert kernel.verify(state), f"{name}: wrong result on the ISA model"
+
+    def test_verifier_detects_unexecuted_state(self, name):
+        """A fresh (never-run) state must fail verification — guards against
+        vacuous verifiers."""
+        kernel = build_kernel(name, iterations=48)
+        assert not kernel.verify(kernel.fresh_state())
+
+    def test_deterministic_across_builds(self, name):
+        a = build_kernel(name, iterations=24, seed=7)
+        b = build_kernel(name, iterations=24, seed=7)
+        sa, sb = a.fresh_state(), b.fresh_state()
+        Executor(a.program, sa).run(max_steps=200_000)
+        Executor(b.program, sb).run(max_steps=200_000)
+        assert sa.snapshot() == sb.snapshot()
+
+    def test_seed_changes_data(self, name):
+        a = build_kernel(name, iterations=24, seed=1)
+        b = build_kernel(name, iterations=24, seed=2)
+        assert (a.fresh_state().memory.footprint() == 0) or (
+            a.fresh_state().snapshot() != b.fresh_state().snapshot()
+            or _memories_differ(a, b))
+
+
+def _memories_differ(a, b) -> bool:
+    ma, mb = a.fresh_state().memory, b.fresh_state().memory
+    return any(ma.load_word(0x10000 + 4 * i) != mb.load_word(0x10000 + 4 * i)
+               for i in range(16))
+
+
+class TestMetadata:
+    def test_categories(self):
+        categories = {build_kernel(n, iterations=8).category for n in ALL}
+        assert {"compute", "memory", "control", "stencil"} <= categories
+
+    def test_control_kernels_not_mesa_eligible(self):
+        """srad and btree must contain inner backward branches."""
+        for name in ("srad", "btree"):
+            kernel = build_kernel(name, iterations=8)
+            backward = [i for i in kernel.program
+                        if i.is_branch and i.imm < 0]
+            assert len(backward) == 2, "inner + outer loop branches"
+
+    def test_parallel_flags(self):
+        assert build_kernel("nn", iterations=8).parallelizable
+        assert not build_kernel("myocyte", iterations=8).parallelizable
+        assert not build_kernel("backprop", iterations=8).parallelizable
