@@ -30,3 +30,14 @@ def test_fig16_energy_amortization(benchmark):
 
     # The tail approaches steady state closely.
     assert series[-1] < 1.2 * result.steady_state_nj
+
+    # Warm re-encounter (configuration-cache hit): only the bitstream load
+    # is sunk again, so every checkpoint amortizes at least as fast and
+    # break-even comes no later than the cold path's.
+    warm = result.warm_energy_per_iteration_nj
+    assert len(warm) == len(series)
+    for cold_point, warm_point in zip(series, warm):
+        assert warm_point <= cold_point
+    assert warm[0] < series[0], "the warm first iteration must be cheaper"
+    warm_breakeven = result.warm_breakeven_iterations
+    assert warm_breakeven is not None and warm_breakeven <= breakeven

@@ -3,6 +3,7 @@
 Examples::
 
     python -m repro run nn --config M-128 --iterations 512
+    python -m repro run nn --repeat 2        # warm config-cache encounter
     python -m repro fig 11 --iterations 256
     python -m repro fig 15
     python -m repro table 1 --config M-64
@@ -24,6 +25,7 @@ from .harness import (
     fig14_dynaspam,
     fig15_pe_scaling,
     fig16_amortization,
+    format_cache_stats,
     table1_area_power,
     table2_config_latency,
 )
@@ -61,6 +63,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--iterations", type=int, default=256)
     run_cmd.add_argument("--serial", action="store_true",
                          help="ignore the kernel's parallel annotation")
+    run_cmd.add_argument("--repeat", type=int, default=1,
+                         help="execute the kernel N times on one controller "
+                              "(re-encounters hit the configuration cache)")
 
     fig_cmd = sub.add_parser("fig", help="regenerate one figure")
     fig_cmd.add_argument("number", choices=sorted(_FIG_DRIVERS))
@@ -79,8 +84,12 @@ def _cmd_run(args) -> str:
     kernel = build_kernel(args.kernel, iterations=args.iterations)
     controller = MesaController(mesa_config(args.config))
     parallel = False if args.serial else kernel.parallelizable
+    repeats = max(1, args.repeat)
     result = controller.execute(kernel.program, kernel.state_factory,
                                 parallelizable=parallel)
+    reruns = [controller.execute(kernel.program, kernel.state_factory,
+                                 parallelizable=parallel)
+              for _ in range(repeats - 1)]
     lines = [
         f"kernel:      {kernel.name} ({kernel.description})",
         f"backend:     {args.config}, {args.iterations} iterations",
@@ -101,6 +110,20 @@ def _cmd_run(args) -> str:
         if kernel.verify is not None:
             correct = kernel.verify(result.final_state)
             lines.append(f"verified:    {'ok' if correct else 'WRONG RESULT'}")
+    for index, rerun in enumerate(reruns, start=2):
+        if rerun.config_cache_hit:
+            tag = "cache hit"
+        elif rerun.cache_stats.lookups:
+            tag = "cache miss"
+        else:
+            tag = "no cacheable region"
+        config_cycles = (rerun.config_cost.total
+                         if rerun.config_cost is not None else 0)
+        lines.append(
+            f"run {index}:       {tag}, config {config_cycles} cycles, "
+            f"{rerun.total_cycles:.0f} total cycles")
+    lines.append(
+        f"cache:       {format_cache_stats(controller.config_cache.stats())}")
     return "\n".join(lines)
 
 

@@ -14,9 +14,12 @@
 
 from .candidates import CandidateStrategy, candidate_mask
 from .configure import (
+    CacheStats,
+    CachedConfiguration,
     ConfigCache,
     ConfigTimingModel,
     ConfigurationCost,
+    InsertOutcome,
     build_program,
     configuration_cost,
 )
@@ -26,6 +29,8 @@ from .controller import (
     MesaController,
     MesaOptions,
     MesaResult,
+    TranslationResult,
+    region_digest,
 )
 from .dfg import DataflowGraph, DfgNode
 from .imap_fsm import ImapFsm, ImapRun, ImapState
@@ -55,9 +60,12 @@ from .trace_cache import TraceCache
 __all__ = [
     "CandidateStrategy",
     "candidate_mask",
+    "CacheStats",
+    "CachedConfiguration",
     "ConfigCache",
     "ConfigTimingModel",
     "ConfigurationCost",
+    "InsertOutcome",
     "build_program",
     "configuration_cost",
     "AcceleratedRegion",
@@ -65,6 +73,8 @@ __all__ = [
     "MesaController",
     "MesaOptions",
     "MesaResult",
+    "TranslationResult",
+    "region_digest",
     "DataflowGraph",
     "DfgNode",
     "ImapFsm",

@@ -15,7 +15,9 @@ The cycle model places MESA's configuration latency in the paper's reported
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
+from typing import NamedTuple
 
 from ..accel import (
     AcceleratorProgram,
@@ -29,6 +31,7 @@ from .mapping import MappingStats
 from .sdfg import Sdfg
 
 __all__ = ["ConfigTimingModel", "ConfigurationCost", "ConfigCache",
+           "CacheStats", "CachedConfiguration", "InsertOutcome",
            "build_program", "configuration_cost"]
 
 
@@ -68,6 +71,19 @@ class ConfigurationCost:
 
     def microseconds(self, frequency_ghz: float) -> float:
         return self.total / (frequency_ghz * 1000.0)
+
+    def warm(self) -> "ConfigurationCost":
+        """The amortized re-encounter cost (Table 2's cached path).
+
+        A configuration-cache hit skips the LDFG build and imap entirely;
+        only the ConfigBlock's sequential bitstream load is paid again.
+        """
+        return ConfigurationCost(
+            ldfg_build_cycles=0,
+            mapping_cycles=0,
+            write_cycles=self.write_cycles,
+            stall_fill_cycles=0,
+        )
 
 
 def configuration_cost(sdfg: Sdfg, bitstream_words: int,
@@ -178,45 +194,159 @@ def build_program(sdfg: Sdfg) -> AcceleratorProgram:
     )
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Snapshot of the configuration cache's observability counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits - other.hits,
+            misses=self.misses - other.misses,
+            evictions=self.evictions - other.evictions,
+            insertions=self.insertions - other.insertions,
+        )
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            insertions=self.insertions + other.insertions,
+        )
+
+
+class CachedConfiguration(NamedTuple):
+    """A configuration-cache hit: everything needed to skip T1–T3."""
+
+    program: AcceleratorProgram
+    bitstream: list[int]
+    cost: ConfigurationCost
+    sdfg: Sdfg | None
+    memopt_report: object | None
+
+
+class InsertOutcome(NamedTuple):
+    """What :meth:`ConfigCache.put` did to make room for an entry."""
+
+    bitstream: list[int]
+    evicted: bool
+    replaced: bool
+
+
 @dataclass
 class _CacheEntry:
     program: AcceleratorProgram
     bitstream: list[int]
     cost: ConfigurationCost
+    sdfg: Sdfg | None = None
+    memopt_report: object | None = None
+    digest: str | None = None
 
 
 class ConfigCache:
-    """Per-region configuration cache (re-encountered loops skip T1–T3)."""
+    """Per-region configuration cache (re-encountered loops skip T1–T3).
+
+    Entries are keyed by (region start, region end, backend name) and
+    optionally tagged with a content *digest* of the region's instruction
+    words: a chip-wide cache sees many address spaces, so two different
+    binaries can place different loops at the same virtual addresses.  A
+    lookup that presents a digest only hits when the tag matches — an
+    address collision is a (conflict) miss, never a wrong configuration.
+
+    The cache is shared by every core on the chip, so all mutating paths
+    take an internal lock; counters (hits/misses/evictions/insertions) are
+    monotonic and can be snapshot via :meth:`stats`.
+    """
 
     def __init__(self, capacity: int = 8) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._entries: dict[tuple[int, int, str], _CacheEntry] = {}
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
 
     def _key(self, start: int, end: int, config_name: str) -> tuple[int, int, str]:
         return (start, end, config_name)
 
-    def lookup(self, start: int, end: int,
-               config_name: str) -> tuple[AcceleratorProgram, list[int]] | None:
-        entry = self._entries.get(self._key(start, end, config_name))
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry.program, entry.bitstream
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        """Consistent snapshot of the observability counters."""
+        with self._lock:
+            return CacheStats(hits=self.hits, misses=self.misses,
+                              evictions=self.evictions,
+                              insertions=self.insertions)
+
+    def lookup(self, start: int, end: int, config_name: str,
+               digest: str | None = None) -> CachedConfiguration | None:
+        """Probe the cache; counts a hit or a miss.
+
+        Args:
+            digest: content tag of the region being looked up.  ``None``
+                matches any entry at the key (address-only probe); a
+                mismatched digest is a conflict miss.
+        """
+        with self._lock:
+            entry = self._entries.get(self._key(start, end, config_name))
+            if entry is None or (digest is not None
+                                 and entry.digest is not None
+                                 and entry.digest != digest):
+                self.misses += 1
+                return None
+            self.hits += 1
+            return CachedConfiguration(
+                program=entry.program, bitstream=entry.bitstream,
+                cost=entry.cost, sdfg=entry.sdfg,
+                memopt_report=entry.memopt_report)
+
+    def put(self, start: int, end: int, config_name: str,
+            program: AcceleratorProgram, cost: ConfigurationCost,
+            sdfg: Sdfg | None = None, memopt_report: object | None = None,
+            digest: str | None = None) -> InsertOutcome:
+        """Cache a configuration, reporting any eviction it forced.
+
+        Overwriting the key already present never evicts an unrelated
+        entry: membership is checked *before* the capacity test, so an
+        at-capacity cache updates in place.
+        """
+        bitstream = encode_bitstream(program)
+        key = self._key(start, end, config_name)
+        with self._lock:
+            replaced = key in self._entries
+            evicted = False
+            if not replaced and len(self._entries) >= self.capacity:
+                # FIFO eviction keeps the hardware simple.
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self.evictions += 1
+                evicted = True
+            self._entries[key] = _CacheEntry(
+                program=program, bitstream=bitstream, cost=cost,
+                sdfg=sdfg, memopt_report=memopt_report, digest=digest)
+            self.insertions += 1
+        return InsertOutcome(bitstream=bitstream, evicted=evicted,
+                             replaced=replaced)
 
     def insert(self, start: int, end: int, config_name: str,
                program: AcceleratorProgram,
                cost: ConfigurationCost) -> list[int]:
         """Cache a configuration; returns its bitstream."""
-        bitstream = encode_bitstream(program)
-        if len(self._entries) >= self.capacity:
-            # FIFO eviction keeps the hardware simple.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
-        self._entries[self._key(start, end, config_name)] = _CacheEntry(
-            program=program, bitstream=bitstream, cost=cost)
-        return bitstream
+        return self.put(start, end, config_name, program, cost).bitstream

@@ -14,13 +14,23 @@ configuration overlap with normal CPU execution — the CPU keeps running loop
 iterations while MESA builds the LDFG and maps it.  Once the configuration is
 written, the CPU halts at the loop entry PC, drains, transfers architectural
 state, and the remaining iterations execute on the fabric; control then
-returns like a subroutine return.  Re-encountered regions hit the
-configuration cache and skip straight to offload.
+returns like a subroutine return.
+
+Re-encountered regions (same addresses, same instruction bytes, same
+backend) hit the configuration cache: ``execute`` consults
+:meth:`ConfigCache.lookup` before translating, and on a hit skips T1–T3
+entirely — the region pays only the ConfigBlock's bitstream load
+(:meth:`ConfigurationCost.warm`), so its warm-up shrinks and the result
+records ``config_cache_hit`` plus per-execute ``cache_stats``.  One
+controller serves the whole chip (see :mod:`repro.core.system`), so the
+cache is shared — and thread-safe — across all cores.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+import struct
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -36,6 +46,8 @@ from ..cpu import CoreResult, CpuConfig, OutOfOrderCore, Trace, collect_trace
 from ..isa import Executor, MachineState, Program
 from ..mem import MemoryHierarchy
 from .configure import (
+    CacheStats,
+    CachedConfiguration,
     ConfigCache,
     ConfigTimingModel,
     ConfigurationCost,
@@ -44,7 +56,12 @@ from .configure import (
 )
 from .ldfg import LdfgError, build_ldfg
 from .loopopt import LoopPlan, plan_loop_optimizations
-from .mapping import InstructionMapper, MappingError, MappingOptions
+from .mapping import (
+    InstructionMapper,
+    MappingError,
+    MappingOptions,
+    MappingStats,
+)
 from .memopt import MemoptReport, apply_memory_optimizations
 from .offload import OffloadCostModel
 from .optimizer import IterativeOptimizer
@@ -53,7 +70,29 @@ from .sdfg import Sdfg
 from .trace_cache import TraceCache
 
 __all__ = ["MesaOptions", "CycleBreakdown", "AcceleratedRegion",
-           "MesaResult", "MesaController"]
+           "MesaResult", "MesaController", "TranslationResult",
+           "region_digest"]
+
+
+def region_digest(program: Program, start_address: int,
+                  end_address: int) -> str:
+    """Content tag of a code region: the encoded instruction words.
+
+    A chip-wide configuration cache is indexed by virtual addresses, which
+    different binaries reuse freely; tagging every entry with the region's
+    instruction bytes turns an address collision into a conflict miss
+    instead of a wrong configuration.
+    """
+    from ..isa.encoding import EncodingError, encode
+
+    hasher = hashlib.blake2b(digest_size=16)
+    for instr in program:
+        if start_address <= instr.address <= end_address:
+            try:
+                hasher.update(struct.pack("<I", encode(instr)))
+            except (EncodingError, struct.error):
+                hasher.update(repr(instr).encode())
+    return hasher.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -75,6 +114,9 @@ class MesaOptions:
     detection_iterations: int = 4
     #: Iterations per profiling window in iterative mode.
     profile_iterations: int = 16
+    #: Consult the configuration cache before translating (§4.3).  Disable
+    #: to model a cache-less controller (the per-thread-chip baseline).
+    enable_config_cache: bool = True
 
 
 @dataclass
@@ -107,6 +149,9 @@ class AcceleratedRegion:
     plan: LoopPlan
     #: CPU iterations before the first offload (detection + config overlap).
     warmup: int
+    #: The configuration came from the cache (T1–T3 skipped; ``cost`` is
+    #: the warm bitstream-load-only cost).
+    cache_hit: bool = False
     runs: list[AcceleratorRun] = field(default_factory=list)
     offloads: int = 0
 
@@ -144,6 +189,10 @@ class MesaResult:
     accel_hierarchy: MemoryHierarchy | None = None
     optimizer_history: list = field(default_factory=list)
     regions: list[AcceleratedRegion] = field(default_factory=list)
+    #: At least one region's configuration came from the cache.
+    config_cache_hit: bool = False
+    #: Cache activity attributable to *this* execute call.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     @property
     def total_cycles(self) -> float:
@@ -166,8 +215,24 @@ class MesaResult:
         return merged
 
 
+@dataclass(frozen=True)
+class TranslationResult:
+    """Product of one region's T1 + §4.2 memory optimization + T2 pass."""
+
+    sdfg: Sdfg
+    memopt_report: MemoptReport | None
+    trace_cache: TraceCache
+    mapper_stats: MappingStats
+
+
 class MesaController:
-    """Drives the full MESA pipeline over one program."""
+    """Drives the full MESA pipeline over one program.
+
+    One controller serves the whole chip: its :class:`ConfigCache` is
+    shared (and thread-safe) across every ``execute`` call, so repeated
+    executions of the same binary — from the same core or another one —
+    skip translation and mapping and pay only the warm bitstream load.
+    """
 
     def __init__(self, config: AcceleratorConfig,
                  cpu_config: CpuConfig | None = None,
@@ -195,6 +260,17 @@ class MesaController:
                 (enables tiling/pipelining, §4.3).
             max_steps: functional-execution safety bound.
         """
+        tally = {"hits": 0, "misses": 0, "evictions": 0, "insertions": 0}
+        result = self._run(program, state_factory, parallelizable, max_steps,
+                           tally)
+        result.cache_stats = CacheStats(**tally)
+        result.config_cache_hit = tally["hits"] > 0
+        return result
+
+    def _run(self, program: Program,
+             state_factory: Callable[[], MachineState],
+             parallelizable: bool, max_steps: int,
+             tally: dict[str, int]) -> MesaResult:
         trace = collect_trace(program, state_factory(), max_steps=max_steps)
         cpu_only = OutOfOrderCore(
             self.cpu_config, MemoryHierarchy(self.cpu_config.memory)).run(trace)
@@ -212,14 +288,28 @@ class MesaController:
         optimizer_history: list = []
         accel_hierarchy = MemoryHierarchy(self.cpu_config.memory)
         regions: list[AcceleratedRegion] = []
-        failure_reason: str | None = None
+        failure_reasons: list[str] = []
         cpi = cpu_only.cycles / max(1, len(trace))
         for decision in accepted:
+            loop = decision.loop
+            digest = region_digest(program, loop.start_address,
+                                   loop.end_address)
+            cached: CachedConfiguration | None = None
+            if self.options.enable_config_cache:
+                cached = self.config_cache.lookup(
+                    loop.start_address, loop.end_address, self.config.name,
+                    digest)
+                tally["hits" if cached is not None else "misses"] += 1
+            if cached is not None and cached.sdfg is not None:
+                # Warm path: skip T1–T3, pay only the bitstream load.
+                regions.append(self._region_from_cache(
+                    decision, cached, parallelizable, trace, cpi))
+                continue
             translated = self._translate(decision, trace, program)
             if isinstance(translated, str):
-                failure_reason = failure_reason or translated
+                failure_reasons.append(translated)
                 continue
-            sdfg, memopt_report, trace_cache, mapper_stats = translated
+            sdfg = translated.sdfg
             if not regions and self.options.iterative_rounds > 0:
                 # Iterative re-optimization (F3) on the primary region.
                 optimizer = IterativeOptimizer(
@@ -234,20 +324,24 @@ class MesaController:
                 )
                 optimizer_history = optimizer.history
             regions.append(self._configure_region(
-                decision, sdfg, memopt_report, trace_cache, mapper_stats,
-                parallelizable, trace, cpi))
+                decision, translated, sdfg, parallelizable, trace, cpi,
+                digest, tally))
         if not regions:
+            # Every per-region failure is preserved: a later region's
+            # reason must not be dropped because an earlier one was
+            # recorded first.
+            unique_reasons = list(dict.fromkeys(failure_reasons))
             return self._cpu_only_result(
-                failure_reason or "no region survived translation",
+                "; ".join(unique_reasons) or "no region survived translation",
                 trace, cpu_only, accepted[0])
 
         return self._execute_with_offload(
             program, state_factory, regions, trace, cpu_only,
             accel_hierarchy, optimizer_history, max_steps)
 
-    def _configure_region(self, decision, sdfg, memopt_report, trace_cache,
-                          mapper_stats, parallelizable, trace,
-                          cpi) -> AcceleratedRegion:
+    def _configure_region(self, decision, translated: TranslationResult,
+                          sdfg, parallelizable, trace, cpi, digest,
+                          tally) -> AcceleratedRegion:
         """T3 + loop planning + warm-up estimate for one accepted region."""
         from ..accel import encode_bitstream
 
@@ -257,45 +351,84 @@ class MesaController:
                         * self.options.mapping.window[1])
         cost = configuration_cost(
             sdfg, len(bitstream),
-            mapper_stats=mapper_stats,
-            stall_fills=trace_cache.stall_fills,
+            mapper_stats=translated.mapper_stats,
+            stall_fills=translated.trace_cache.stall_fills,
             timing=self.options.config_timing,
             window_cells=window_cells,
         )
-        self.config_cache.insert(decision.loop.start_address,
-                                 decision.loop.end_address,
-                                 self.config.name, accel_program, cost)
-        plan = plan_loop_optimizations(
-            sdfg, parallelizable,
-            expected_iterations=decision.loop.expected_trip_count,
-            enable_tiling=self.options.tiling,
-            enable_pipelining=self.options.pipelining,
-        )
-        loop = decision.loop
-        loop_entries = sum(1 for e in trace
-                           if loop.start_address <= e.pc <= loop.end_address)
-        iterations = max(1, loop.total_iterations)
-        cycles_per_iteration = max(1.0, loop_entries / iterations * cpi)
-        warmup = self.options.detection_iterations + math.ceil(
-            cost.total / cycles_per_iteration)
+        outcome = self.config_cache.put(
+            decision.loop.start_address, decision.loop.end_address,
+            self.config.name, accel_program, cost,
+            sdfg=sdfg, memopt_report=translated.memopt_report,
+            digest=digest)
+        tally["insertions"] += 1
+        tally["evictions"] += outcome.evicted
+        plan = self._plan(sdfg, decision, parallelizable)
+        warmup = self._warmup_iterations(decision, trace, cpi, cost)
         return AcceleratedRegion(
             decision=decision,
             sdfg=sdfg,
             accel_program=accel_program,
             bitstream_words=len(bitstream),
             cost=cost,
-            memopt_report=memopt_report,
+            memopt_report=translated.memopt_report,
             plan=plan,
             warmup=warmup,
         )
 
+    def _region_from_cache(self, decision, cached: CachedConfiguration,
+                           parallelizable, trace, cpi) -> AcceleratedRegion:
+        """Warm path: rebuild the region record from a cache hit.
+
+        Translation (T1), memory optimization, and mapping (T2) are all
+        skipped; the only configuration work charged is the ConfigBlock's
+        bitstream load (:meth:`ConfigurationCost.warm`), which shrinks the
+        warm-up window accordingly.  Loop planning is recomputed because it
+        depends on this call's ``parallelizable`` annotation and expected
+        trip count, not on the cached mapping.
+        """
+        warm_cost = cached.cost.warm()
+        plan = self._plan(cached.sdfg, decision, parallelizable)
+        warmup = self._warmup_iterations(decision, trace, cpi, warm_cost)
+        return AcceleratedRegion(
+            decision=decision,
+            sdfg=cached.sdfg,
+            accel_program=cached.program,
+            bitstream_words=len(cached.bitstream),
+            cost=warm_cost,
+            memopt_report=cached.memopt_report,
+            plan=plan,
+            warmup=warmup,
+            cache_hit=True,
+        )
+
+    def _plan(self, sdfg, decision, parallelizable) -> LoopPlan:
+        return plan_loop_optimizations(
+            sdfg, parallelizable,
+            expected_iterations=decision.loop.expected_trip_count,
+            enable_tiling=self.options.tiling,
+            enable_pipelining=self.options.pipelining,
+        )
+
+    def _warmup_iterations(self, decision, trace, cpi,
+                           cost: ConfigurationCost) -> int:
+        """CPU iterations that overlap detection + configuration."""
+        loop = decision.loop
+        loop_entries = sum(1 for e in trace
+                           if loop.start_address <= e.pc <= loop.end_address)
+        iterations = max(1, loop.total_iterations)
+        cycles_per_iteration = max(1.0, loop_entries / iterations * cpi)
+        return self.options.detection_iterations + math.ceil(
+            cost.total / cycles_per_iteration)
+
     # -- translation (T1 + §4.2 optimizations + T2) -----------------------------
 
     def _translate(self, decision: RegionDecision, trace: Trace,
-                   program: Program):
+                   program: Program) -> TranslationResult | str:
         """Trace cache capture, LDFG build, memopt, and spatial mapping.
 
-        Returns (sdfg, memopt_report, trace_cache) or a failure reason.
+        Returns a :class:`TranslationResult` on success, or the failure
+        reason as a string when the region cannot be translated or mapped.
         """
         trace_cache = TraceCache(self.config.max_instructions)
         trace_cache.set_region(decision.loop.start_address,
@@ -321,7 +454,9 @@ class MesaController:
             sdfg = mapper.map(ldfg)
         except MappingError as exc:
             return f"mapping failed: {exc}"
-        return sdfg, memopt_report, trace_cache, mapper.stats
+        return TranslationResult(sdfg=sdfg, memopt_report=memopt_report,
+                                 trace_cache=trace_cache,
+                                 mapper_stats=mapper.stats)
 
     # -- measured execution with offload --------------------------------------
 

@@ -7,24 +7,30 @@ to interface with all cores unless we explicitly want to configure multiple
 accelerators simultaneously."
 
 :class:`MesaSystem` models that scenario: a set of threads (programs), each
-pinned to its own core, compete for a single spatial accelerator.  Each
-thread is evaluated by the shared controller; qualifying threads offload
-their hot loops, and the accelerator serializes accelerated regions in
-arrival order (with a benefit-ordered policy available).  The result is a
-timeline with a makespan to compare against the all-CPU schedule — the
-transparent utilization-of-idle-silicon story of the paper's introduction.
+pinned to its own core, compete for a single spatial accelerator.  The chip
+holds **one** :class:`MesaController`, so its configuration cache is shared
+across cores — two threads running the same binary configure once and the
+second hits the cache, skipping translation and mapping (§4.3).  Each
+thread is evaluated by the shared controller (concurrently, since
+per-thread evaluation is independent); qualifying threads offload their hot
+loops, and the accelerator serializes accelerated regions in arrival order
+(with a benefit-ordered policy available).  The result is a timeline with a
+makespan to compare against the all-CPU schedule — the transparent
+utilization-of-idle-silicon story of the paper's introduction.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..accel import AcceleratorConfig
 from ..cpu import CpuConfig
 from ..isa import MachineState, Program
-from .controller import MesaController, MesaOptions, MesaResult
+from .configure import CacheStats
+from .controller import MesaController, MesaOptions, MesaResult, region_digest
 
 __all__ = ["SchedulingPolicy", "ThreadSpec", "ThreadOutcome", "SystemRun",
            "MesaSystem"]
@@ -33,7 +39,8 @@ __all__ = ["SchedulingPolicy", "ThreadSpec", "ThreadOutcome", "SystemRun",
 class SchedulingPolicy(enum.Enum):
     """How competing accelerated regions are ordered on the one fabric."""
 
-    #: First come, first served (arrival = thread submission order).
+    #: First come, first served (arrival = the order threads reach their
+    #: offload point on the shared timeline; submission order breaks ties).
     FIFO = "fifo"
     #: Highest expected speedup first (the Thread-Director-style choice).
     BEST_SPEEDUP_FIRST = "best_speedup"
@@ -67,6 +74,11 @@ class ThreadOutcome:
     def accelerated(self) -> bool:
         return self.result.accelerated
 
+    @property
+    def config_cache_hit(self) -> bool:
+        """This thread reused a configuration another encounter cached."""
+        return self.result.config_cache_hit
+
 
 @dataclass
 class SystemRun:
@@ -74,6 +86,8 @@ class SystemRun:
 
     outcomes: list[ThreadOutcome]
     policy: SchedulingPolicy
+    #: Shared-controller cache activity attributable to this run.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     @property
     def makespan(self) -> float:
@@ -94,6 +108,10 @@ class SystemRun:
     def accelerated_threads(self) -> int:
         return sum(1 for o in self.outcomes if o.accelerated)
 
+    @property
+    def cache_hit_threads(self) -> int:
+        return sum(1 for o in self.outcomes if o.config_cache_hit)
+
     def outcome(self, name: str) -> ThreadOutcome:
         for candidate in self.outcomes:
             if candidate.name == name:
@@ -102,7 +120,13 @@ class SystemRun:
 
 
 class MesaSystem:
-    """One accelerator + one controller shared by all cores."""
+    """One accelerator + one controller shared by all cores.
+
+    The controller — and therefore the configuration cache — lives on the
+    system, not on the per-thread evaluation: successive :meth:`run` calls
+    and threads within one call all share it, exactly as one chip-level
+    MESA instance would.
+    """
 
     def __init__(self, config: AcceleratorConfig,
                  cpu_config: CpuConfig | None = None,
@@ -112,47 +136,106 @@ class MesaSystem:
         self.cpu_config = cpu_config
         self.options = options
         self.policy = policy
+        #: The chip's single MESA controller (shared configuration cache).
+        self.controller = MesaController(config, cpu_config, options)
 
-    def run(self, threads: list[ThreadSpec]) -> SystemRun:
+    def run(self, threads: list[ThreadSpec],
+            max_workers: int | None = None) -> SystemRun:
         """Schedule the thread set; returns the shared timeline.
 
         Each thread is first evaluated in isolation by the shared
-        controller (its own core runs regardless).  Accelerated regions are
-        then serialized on the single fabric in policy order: a thread whose
-        loop reaches the offload point while the fabric is busy keeps its
-        core stalled at the loop entry (the paper's halt-at-entry protocol)
-        until the fabric frees up.
+        controller (its own core runs regardless).  Evaluation is
+        embarrassingly parallel, so it fans out over a thread pool — in
+        two waves, so that threads running a binary another thread already
+        configured deterministically hit the shared configuration cache
+        rather than racing it.  Accelerated regions are then serialized on
+        the single fabric in policy order: a thread whose loop reaches the
+        offload point while the fabric is busy keeps its core stalled at
+        the loop entry (the paper's halt-at-entry protocol) until the
+        fabric frees up.
         """
-        evaluated: list[ThreadOutcome] = []
-        for spec in threads:
-            controller = MesaController(self.config, self.cpu_config,
-                                        self.options)
-            result = controller.execute(spec.program, spec.state_factory,
-                                        parallelizable=spec.parallelizable)
-            evaluated.append(ThreadOutcome(name=spec.name, result=result))
+        stats_before = self.controller.config_cache.stats()
+        evaluated = self._evaluate(threads, max_workers)
 
-        order = list(evaluated)
+        order = list(enumerate(evaluated))
         if self.policy is SchedulingPolicy.BEST_SPEEDUP_FIRST:
-            order.sort(key=lambda o: -self._expected_speedup(o))
+            order.sort(key=lambda item: -self._expected_speedup(item[1]))
+        else:
+            # True arrival order: the thread whose core reaches its offload
+            # point first claims the fabric first (ties: submission order).
+            order.sort(key=lambda item: (self._ready_at(item[1]), item[0]))
 
         fabric_free = 0.0
-        for outcome in order:
+        for _, outcome in order:
             result = outcome.result
             if not result.accelerated:
                 outcome.finish = float(result.cpu_only.cycles)
                 continue
-            breakdown = result.breakdown
             # The thread reaches its offload point after its CPU-side
             # prefix (detection/config warm-up overlaps that execution).
-            ready_at = breakdown.cpu_cycles
+            ready_at = self._ready_at(outcome)
             start = max(ready_at, fabric_free)
             outcome.wait_cycles = start - ready_at
             outcome.accel_start = start
+            breakdown = result.breakdown
             accel_time = (breakdown.offload_cycles + breakdown.accel_cycles
                           + breakdown.return_cycles)
             fabric_free = start + accel_time
             outcome.finish = start + accel_time
-        return SystemRun(outcomes=evaluated, policy=self.policy)
+        cache_stats = self.controller.config_cache.stats() - stats_before
+        return SystemRun(outcomes=evaluated, policy=self.policy,
+                         cache_stats=cache_stats)
+
+    def _evaluate(self, threads: list[ThreadSpec],
+                  max_workers: int | None) -> list[ThreadOutcome]:
+        """Evaluate every thread on the shared controller, concurrently.
+
+        Threads are split into two waves by program content: the first
+        occurrence of each distinct binary runs in wave one (these populate
+        the configuration cache), duplicates run in wave two and hit it.
+        Within a wave the evaluations are independent, so they run on a
+        pool; results are reassembled in submission order.
+        """
+        first_wave: list[int] = []
+        second_wave: list[int] = []
+        seen: set[str] = set()
+        for index, spec in enumerate(threads):
+            key = self._program_key(spec.program)
+            if key in seen:
+                second_wave.append(index)
+            else:
+                seen.add(key)
+                first_wave.append(index)
+
+        results: dict[int, MesaResult] = {}
+
+        def evaluate(index: int) -> None:
+            spec = threads[index]
+            results[index] = self.controller.execute(
+                spec.program, spec.state_factory,
+                parallelizable=spec.parallelizable)
+
+        for wave in (first_wave, second_wave):
+            if not wave:
+                continue
+            if len(wave) == 1 or max_workers == 1:
+                for index in wave:
+                    evaluate(index)
+                continue
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                list(pool.map(evaluate, wave))
+        return [ThreadOutcome(name=threads[i].name, result=results[i])
+                for i in range(len(threads))]
+
+    @staticmethod
+    def _program_key(program: Program) -> str:
+        return region_digest(program, program.base_address,
+                             program.end_address)
+
+    @staticmethod
+    def _ready_at(outcome: ThreadOutcome) -> float:
+        result = outcome.result
+        return result.breakdown.cpu_cycles if result.accelerated else 0.0
 
     @staticmethod
     def _expected_speedup(outcome: ThreadOutcome) -> float:

@@ -29,7 +29,13 @@ from .figures import (
     fig15_pe_scaling,
     fig16_amortization,
 )
-from .report import format_value, geomean, render_series, render_table
+from .report import (
+    format_cache_stats,
+    format_value,
+    geomean,
+    render_series,
+    render_table,
+)
 from .sweep import SweepPoint, SweepResult, pe_count_configs, sweep_backends
 from .tables import (
     Table1Result,
@@ -53,6 +59,7 @@ __all__ = [
     "fig14_dynaspam",
     "fig15_pe_scaling",
     "fig16_amortization",
+    "format_cache_stats",
     "format_value",
     "geomean",
     "render_series",

@@ -6,9 +6,13 @@ figures report; these helpers keep that output consistent and legible.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
-__all__ = ["render_table", "render_series", "format_value", "geomean"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core import CacheStats
+
+__all__ = ["render_table", "render_series", "format_value",
+           "format_cache_stats", "geomean"]
 
 
 def format_value(value: Any) -> str:
@@ -24,6 +28,18 @@ def format_value(value: Any) -> str:
             return f"{value:.1f}"
         return f"{value:.3f}"
     return str(value)
+
+
+def format_cache_stats(stats: "CacheStats") -> str:
+    """One-line summary of configuration-cache counters.
+
+    Example: ``hits=3 misses=1 evictions=0 insertions=1 (75.0% hit rate)``.
+    """
+    line = (f"hits={stats.hits} misses={stats.misses} "
+            f"evictions={stats.evictions} insertions={stats.insertions}")
+    if stats.lookups:
+        line += f" ({stats.hit_rate:.1%} hit rate)"
+    return line
 
 
 def render_table(headers: Sequence[str],

@@ -60,24 +60,42 @@ _STATIC_ROWS = [
 
 @dataclass
 class Table2Result:
-    """Approach comparison with MESA's *measured* configuration latency."""
+    """Approach comparison with MESA's *measured* configuration latency.
+
+    Carries two MESA latency bands: the cold path (full T1–T3) and the
+    warm path — a re-encountered region that hits the configuration cache
+    and pays only the bitstream load (§4.3).
+    """
 
     static_rows: list[tuple[str, str, str, str]] = field(default_factory=list)
     mesa_min_cycles: int = 0
     mesa_max_cycles: int = 0
+    mesa_warm_min_cycles: int = 0
+    mesa_warm_max_cycles: int = 0
     frequency_ghz: float = 2.0
+
+    def _latency_text(self, low: int, high: int) -> str:
+        low_us = low / (self.frequency_ghz * 1000)
+        high_us = high / (self.frequency_ghz * 1000)
+        return (f"JIT ({low}-{high} cycles"
+                f" = {low_us:.2f}-{high_us:.2f} us)")
 
     @property
     def mesa_latency_text(self) -> str:
-        low_us = self.mesa_min_cycles / (self.frequency_ghz * 1000)
-        high_us = self.mesa_max_cycles / (self.frequency_ghz * 1000)
-        return (f"JIT ({self.mesa_min_cycles}-{self.mesa_max_cycles} cycles"
-                f" = {low_us:.2f}-{high_us:.2f} us)")
+        return self._latency_text(self.mesa_min_cycles, self.mesa_max_cycles)
+
+    @property
+    def mesa_warm_latency_text(self) -> str:
+        return self._latency_text(self.mesa_warm_min_cycles,
+                                  self.mesa_warm_max_cycles)
 
     def render(self) -> str:
         body = [list(row) for row in self.static_rows]
         body.append(["MESA", self.mesa_latency_text, "2D Spatial",
                      "Dynamic, Tile, Pipeline"])
+        if self.mesa_warm_max_cycles:
+            body.append(["MESA (cached)", self.mesa_warm_latency_text,
+                         "2D Spatial", "Config-cache re-encounter"])
         return render_table(
             ["work", "config latency", "targets", "optimizations"], body,
             title="Table 2: approach comparison")
@@ -90,19 +108,30 @@ def table2_config_latency(iterations: int = 256,
 
     The paper reports "generally between 10^3 and 10^4 cycles", i.e. the
     ns-µs range at 2 GHz — between DynaSpAM's nanoseconds and DORA's
-    milliseconds.
+    milliseconds.  Each kernel is executed twice on one controller: the
+    first encounter measures the cold latency, the second hits the
+    configuration cache and measures the warm (bitstream-load-only) path.
     """
     result = Table2Result(static_rows=list(_STATIC_ROWS),
                           frequency_ghz=config.frequency_ghz)
     costs = []
+    warm_costs = []
     for name in kernels:
         kernel = build_kernel(name, iterations=iterations)
         controller = MesaController(config)
         run = controller.execute(kernel.program, kernel.state_factory,
                                  parallelizable=kernel.parallelizable)
-        if run.config_cost is not None:
-            costs.append(run.config_cost.total)
+        if run.config_cost is None:
+            continue
+        costs.append(run.config_cost.total)
+        rerun = controller.execute(kernel.program, kernel.state_factory,
+                                   parallelizable=kernel.parallelizable)
+        if rerun.config_cache_hit and rerun.config_cost is not None:
+            warm_costs.append(rerun.config_cost.total)
     if costs:
         result.mesa_min_cycles = min(costs)
         result.mesa_max_cycles = max(costs)
+    if warm_costs:
+        result.mesa_warm_min_cycles = min(warm_costs)
+        result.mesa_warm_max_cycles = max(warm_costs)
     return result

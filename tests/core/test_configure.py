@@ -235,3 +235,62 @@ class TestConfigCache:
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
             ConfigCache(capacity=0)
+
+    def test_overwrite_at_capacity_keeps_unrelated_entries(self):
+        """Re-inserting an existing key at capacity must update in place,
+        not evict the oldest unrelated entry."""
+        cache = ConfigCache(capacity=2)
+        program, cost = self.make_entry()
+        cache.insert(0x1000, 0x1020, "M-64", program, cost)
+        cache.insert(0x2000, 0x2020, "M-64", program, cost)
+        cache.insert(0x1000, 0x1020, "M-64", program, cost)  # overwrite
+        assert cache.lookup(0x2000, 0x2020, "M-64") is not None, (
+            "overwrite evicted an unrelated entry")
+        assert cache.lookup(0x1000, 0x1020, "M-64") is not None
+        assert cache.evictions == 0
+        assert len(cache) == 2
+
+    def test_eviction_counter(self):
+        cache = ConfigCache(capacity=1)
+        program, cost = self.make_entry()
+        cache.insert(0x1000, 0x1020, "M-64", program, cost)
+        assert cache.evictions == 0
+        cache.insert(0x2000, 0x2020, "M-64", program, cost)
+        assert cache.evictions == 1
+        assert cache.insertions == 2
+
+    def test_put_reports_eviction_and_replacement(self):
+        cache = ConfigCache(capacity=1)
+        program, cost = self.make_entry()
+        first = cache.put(0x1000, 0x1020, "M-64", program, cost)
+        assert not first.evicted and not first.replaced
+        again = cache.put(0x1000, 0x1020, "M-64", program, cost)
+        assert again.replaced and not again.evicted
+        other = cache.put(0x2000, 0x2020, "M-64", program, cost)
+        assert other.evicted and not other.replaced
+        assert len(other.bitstream) > 5
+
+    def test_digest_mismatch_is_conflict_miss(self):
+        """Two binaries can place different loops at the same virtual
+        addresses; the content digest must keep them apart."""
+        cache = ConfigCache()
+        program, cost = self.make_entry()
+        cache.put(0x1000, 0x1020, "M-64", program, cost, digest="aaaa")
+        assert cache.lookup(0x1000, 0x1020, "M-64", digest="bbbb") is None
+        assert cache.lookup(0x1000, 0x1020, "M-64", digest="aaaa") is not None
+        # An address-only probe (no digest) still matches.
+        assert cache.lookup(0x1000, 0x1020, "M-64") is not None
+        assert cache.misses == 1 and cache.hits == 2
+
+    def test_stats_snapshot_and_delta(self):
+        cache = ConfigCache()
+        program, cost = self.make_entry()
+        before = cache.stats()
+        cache.lookup(0x1000, 0x1020, "M-64")
+        cache.insert(0x1000, 0x1020, "M-64", program, cost)
+        cache.lookup(0x1000, 0x1020, "M-64")
+        delta = cache.stats() - before
+        assert delta.hits == 1 and delta.misses == 1
+        assert delta.insertions == 1 and delta.evictions == 0
+        assert delta.lookups == 2
+        assert delta.hit_rate == pytest.approx(0.5)

@@ -184,3 +184,107 @@ class TestOptions:
         loop_end = 0x1018
         assert controller.config_cache.lookup(
             loop_start, loop_end, M_128.name) is not None
+
+
+class TestConfigCacheWarmPath:
+    """Re-encountered regions hit the cache and skip T1-T3 (paper §5.1)."""
+
+    def test_second_execute_hits_cache_and_skips_translation(self):
+        controller = MesaController(M_128)
+        cold = controller.execute(INCREMENT_LOOP, increment_state,
+                                  parallelizable=True)
+        assert cold.accelerated and not cold.config_cache_hit
+        assert cold.cache_stats.misses == 1
+        assert cold.cache_stats.insertions == 1
+
+        calls = []
+        original = controller._translate
+        controller._translate = lambda *a, **k: (
+            calls.append(1) or original(*a, **k))
+        warm = controller.execute(INCREMENT_LOOP, increment_state,
+                                  parallelizable=True)
+        assert warm.accelerated and warm.config_cache_hit
+        assert warm.cache_stats.hits == 1
+        assert warm.cache_stats.misses == 0
+        assert calls == [], "a cache hit must not translate or map"
+
+    def test_warm_config_cost_is_bitstream_load_only(self):
+        controller = MesaController(M_128)
+        cold = controller.execute(INCREMENT_LOOP, increment_state,
+                                  parallelizable=True)
+        warm = controller.execute(INCREMENT_LOOP, increment_state,
+                                  parallelizable=True)
+        assert warm.config_cost.total == cold.config_cost.write_cycles
+        assert warm.config_cost.ldfg_build_cycles == 0
+        assert warm.config_cost.mapping_cycles == 0
+        assert warm.config_cost.stall_fill_cycles == 0
+        assert warm.bitstream_words == cold.bitstream_words
+        # Shorter warm-up => fewer CPU iterations => faster end to end.
+        assert warm.total_cycles < cold.total_cycles
+        assert warm.regions[0].cache_hit
+
+    def test_warm_run_functionally_correct(self):
+        controller = MesaController(M_128)
+        controller.execute(INCREMENT_LOOP, increment_state,
+                           parallelizable=True)
+        warm = controller.execute(INCREMENT_LOOP, increment_state,
+                                  parallelizable=True)
+        memory = warm.final_state.memory
+        for i in range(400):
+            assert memory.load_word(0x4000 + 4 * i) == 6
+
+    def test_cache_can_be_disabled(self):
+        controller = MesaController(
+            M_128, options=MesaOptions(enable_config_cache=False))
+        controller.execute(INCREMENT_LOOP, increment_state,
+                           parallelizable=True)
+        result = controller.execute(INCREMENT_LOOP, increment_state,
+                                    parallelizable=True)
+        assert not result.config_cache_hit
+        assert result.cache_stats.hits == 0
+        assert result.cache_stats.lookups == 0
+
+    def test_distinct_backends_do_not_cross_hit(self):
+        from repro.accel import M_64
+
+        shared_cache_controller = MesaController(M_128)
+        shared_cache_controller.execute(INCREMENT_LOOP, increment_state,
+                                        parallelizable=True)
+        other = MesaController(M_64)
+        other.config_cache = shared_cache_controller.config_cache
+        result = other.execute(INCREMENT_LOOP, increment_state,
+                               parallelizable=True)
+        assert not result.config_cache_hit, (
+            "an M-128 configuration must not be replayed on M-64")
+
+
+class TestFailureReasons:
+    def test_all_region_failures_reported(self):
+        """A later region's failure must not be dropped because an earlier
+        one was recorded first."""
+        config = AcceleratorConfig(rows=2, cols=2, lsu_entries=64)
+        body_a = "\n".join(f"addi t{1 + i % 5}, t{i % 5}, 1"
+                           for i in range(12))
+        body_b = "\n".join(f"addi s{2 + i % 5}, s{1 + i % 5}, 1"
+                           for i in range(14))
+        program = assemble(
+            f"""
+            addi t0, zero, 200
+            loop_a:
+                {body_a}
+                addi t0, t0, -1
+                bne t0, zero, loop_a
+            addi s1, zero, 200
+            loop_b:
+                {body_b}
+                addi s1, s1, -1
+                bne s1, zero, loop_b
+            """
+        )
+        controller = MesaController(config)
+        result = controller.execute(
+            program, lambda: MachineState(pc=program.base_address))
+        assert not result.accelerated
+        assert result.reason.count("mapping failed") == 2, (
+            f"both regions' failures must be reported, got: {result.reason}")
+        assert "; " in result.reason

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.accel import M_128
-from repro.core import MesaSystem, SchedulingPolicy, ThreadSpec
+from repro.core import MesaOptions, MesaSystem, SchedulingPolicy, ThreadSpec
 from repro.workloads import build_kernel
 
 
@@ -82,3 +82,66 @@ class TestPolicies:
         run = MesaSystem(M_128).run([])
         assert run.makespan == 0.0
         assert run.speedup == 0.0
+
+
+class TestSharedControllerCache:
+    """One controller per chip: threads share the configuration cache."""
+
+    def test_cross_thread_cache_hit(self):
+        run = MesaSystem(M_128).run([thread("nn"), thread("nn")])
+        assert run.cache_stats.hits >= 1
+        assert run.cache_stats.insertions == 1, (
+            "the same binary must be configured exactly once")
+        assert run.cache_hit_threads == 1
+        hits = [o.config_cache_hit for o in run.outcomes]
+        assert sorted(hits) == [False, True]
+        assert all(o.accelerated for o in run.outcomes)
+
+    def test_shared_cache_lowers_makespan(self):
+        threads = [thread("nn"), thread("nn")]
+        shared = MesaSystem(M_128).run(threads)
+        baseline = MesaSystem(
+            M_128,
+            options=MesaOptions(enable_config_cache=False)).run(threads)
+        assert baseline.cache_stats.hits == 0
+        assert shared.cache_stats.hits >= 1
+        assert shared.makespan < baseline.makespan, (
+            "reusing the configuration must shorten the shared timeline")
+
+    def test_controller_persists_across_runs(self):
+        system = MesaSystem(M_128)
+        first = system.run([thread("nn")])
+        assert first.cache_stats.hits == 0
+        second = system.run([thread("nn")])
+        assert second.cache_stats.hits == 1, (
+            "the chip's cache must survive between run() calls")
+        assert second.outcomes[0].config_cache_hit
+
+    def test_concurrent_evaluation_deterministic(self):
+        threads = [thread("nn"), thread("kmeans"), thread("nn")]
+        first = MesaSystem(M_128).run(threads)
+        second = MesaSystem(M_128).run(threads)
+        assert first.makespan == second.makespan
+        assert ([o.finish for o in first.outcomes]
+                == [o.finish for o in second.outcomes])
+        assert ([o.config_cache_hit for o in first.outcomes]
+                == [o.config_cache_hit for o in second.outcomes])
+
+    def test_serial_evaluation_matches_concurrent(self):
+        threads = [thread("nn"), thread("kmeans"), thread("nn")]
+        pooled = MesaSystem(M_128).run(threads)
+        serial = MesaSystem(M_128).run(threads, max_workers=1)
+        assert [o.finish for o in pooled.outcomes] \
+            == [o.finish for o in serial.outcomes]
+        assert pooled.cache_stats == serial.cache_stats
+
+    def test_fifo_is_arrival_order(self):
+        """The thread that reaches its offload point first claims the
+        fabric first, regardless of submission order."""
+        run = MesaSystem(M_128).run([thread("nn"), thread("nn")])
+        warm = next(o for o in run.outcomes if o.config_cache_hit)
+        cold = next(o for o in run.outcomes if not o.config_cache_hit)
+        # The warm thread's shorter warm-up makes it ready earlier.
+        assert (warm.result.breakdown.cpu_cycles
+                < cold.result.breakdown.cpu_cycles)
+        assert warm.accel_start < cold.accel_start

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.harness import format_value, geomean, render_series, render_table
+from repro.core import CacheStats
+from repro.harness import (
+    format_cache_stats,
+    format_value,
+    geomean,
+    render_series,
+    render_table,
+)
 
 
 class TestFormatValue:
@@ -27,6 +34,19 @@ class TestFormatValue:
 
     def test_int(self):
         assert format_value(7) == "7"
+
+
+class TestFormatCacheStats:
+    def test_counters_and_hit_rate(self):
+        text = format_cache_stats(CacheStats(hits=3, misses=1,
+                                             evictions=2, insertions=4))
+        assert text == ("hits=3 misses=1 evictions=2 insertions=4 "
+                        "(75.0% hit rate)")
+
+    def test_no_lookups_omits_rate(self):
+        text = format_cache_stats(CacheStats())
+        assert text == "hits=0 misses=0 evictions=0 insertions=0"
+        assert "rate" not in text
 
 
 class TestRenderTable:

@@ -35,6 +35,18 @@ class TestCommands:
         assert "speedup" in out
         assert "verified:    ok" in out
 
+    def test_run_reports_cache_counters(self, capsys):
+        assert main(["run", "nn", "--iterations", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "cache:       hits=0 misses=1" in out
+
+    def test_run_repeat_hits_cache(self, capsys):
+        assert main(["run", "nn", "--iterations", "96", "--repeat", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "run 2:       cache hit" in out
+        assert "hits=1 misses=1" in out
+        assert "50.0% hit rate" in out
+
     def test_run_disqualifying_kernel(self, capsys):
         assert main(["run", "srad", "--iterations", "96"]) == 0
         out = capsys.readouterr().out
