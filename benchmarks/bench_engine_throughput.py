@@ -1,0 +1,112 @@
+"""Engine throughput: fabric iterations per host-second, per kernel.
+
+This benchmark measures the *simulator*, not the modeled hardware: how fast
+the dataflow engine retires fabric iterations now that execution runs off a
+compiled :class:`repro.accel.plan.ExecutionPlan` instead of re-interpreting
+the configuration every iteration.  It reports, per kernel:
+
+* iterations/second on the plan-compiled path (the default);
+* iterations/second on the reference interpreter path (``compiled=False``);
+* the resulting speedup (the two paths are bit-identical — see
+  ``tests/accel/test_plan_equivalence.py``).
+
+It also times the full Fig. 11 pipeline end-to-end and records it against
+the pre-plan baseline wall clock, which is the headline number for this
+optimization round.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.accel import DataflowEngine, M_128
+from repro.core import MesaController
+from repro.harness import fig11_rodinia
+from repro.workloads import build_kernel
+
+from _common import ITERATIONS, emit, run_once
+
+#: Wall clock of ``fig11_rodinia(iterations=384)`` on the reference machine
+#: before the execution-plan work (interpreted engine, per-call trace
+#: collection and CPU-model runs).
+PRE_PLAN_FIG11_SECONDS = 9.70
+
+KERNELS = ("hotspot", "cfd", "kmeans", "nn")
+
+_REPORT: list[str] = []
+
+
+def _offload_setup(name: str):
+    """Run the pipeline once; return the configured engine + entry states."""
+    kernel = build_kernel(name, iterations=512, seed=1)
+    controller = MesaController(M_128)
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=kernel.parallelizable)
+    assert result.accelerated, f"{name} must offload for this benchmark"
+    options = result.loop_plan.to_execution_options()
+
+    def entry_state():
+        return controller._state_at_loop_entry(
+            kernel.program, result.decision, kernel.state_factory(),
+            4_000_000)
+
+    return result.accel_program, controller.interconnect, options, entry_state
+
+
+def _iterations_per_second(engine: DataflowEngine, options,
+                           entry_state, repeats: int = 3) -> float:
+    best = float("inf")
+    iterations = 0
+    for _ in range(repeats):
+        state = entry_state()
+        start = time.perf_counter()
+        run = engine.run(state, options)
+        best = min(best, time.perf_counter() - start)
+        iterations = run.iterations
+    return iterations / best
+
+
+def test_engine_throughput(benchmark):
+    rows = ["engine throughput (fabric iterations / host second, M-128):",
+            f"  {'kernel':<10} {'compiled':>12} {'interpreted':>12} "
+            f"{'speedup':>8}"]
+    ratios = []
+    prepared = {name: _offload_setup(name) for name in KERNELS}
+
+    def measured():
+        results = {}
+        for name, (program, interconnect, options, entry) in prepared.items():
+            fast = DataflowEngine(program, interconnect=interconnect)
+            slow = DataflowEngine(program, interconnect=interconnect,
+                                  compiled=False)
+            results[name] = (
+                _iterations_per_second(fast, options, entry),
+                _iterations_per_second(slow, options, entry),
+            )
+        return results
+
+    results = run_once(benchmark, measured)
+    for name, (fast_ips, slow_ips) in results.items():
+        ratio = fast_ips / slow_ips
+        ratios.append(ratio)
+        rows.append(f"  {name:<10} {fast_ips:>12.0f} {slow_ips:>12.0f} "
+                    f"{ratio:>7.2f}x")
+    _REPORT.extend(rows)
+
+    # The compiled path must not lose to the interpreter on any kernel.
+    assert all(ratio > 1.0 for ratio in ratios), ratios
+
+
+def test_fig11_wall_clock(benchmark):
+    start = time.perf_counter()
+    result = run_once(benchmark, lambda: fig11_rodinia(iterations=ITERATIONS))
+    wall = time.perf_counter() - start
+    assert result.rows, "fig11 produced no rows"
+
+    _REPORT.append("")
+    _REPORT.append(f"fig11_rodinia(iterations={ITERATIONS}) end-to-end "
+                   "wall clock:")
+    _REPORT.append(f"  pre-plan baseline: {PRE_PLAN_FIG11_SECONDS:.2f} s")
+    _REPORT.append(f"  this run:          {wall:.2f} s "
+                   f"({PRE_PLAN_FIG11_SECONDS / wall:.2f}x)")
+    emit("engine_throughput", "\n".join(_REPORT))

@@ -31,6 +31,7 @@ from .interconnect import (
     build_interconnect,
 )
 from .lsu import LoadStoreEntries, LsuAssignment
+from .plan import ExecutionPlan, compile_plan
 from .program import (
     AcceleratorProgram,
     ConfiguredNode,
@@ -63,6 +64,8 @@ __all__ = [
     "build_interconnect",
     "LoadStoreEntries",
     "LsuAssignment",
+    "ExecutionPlan",
+    "compile_plan",
     "AcceleratorProgram",
     "ConfiguredNode",
     "Guard",

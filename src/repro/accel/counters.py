@@ -35,6 +35,8 @@ class ActivityCounters:
     #: Speculative loads invalidated by a later-resolving store (§4.2).
     load_replays: int = 0
     local_hops: int = 0
+    #: Router traversals by NoC-routed packets (one energy event per hop).
+    #: Queue time is *not* a hop — it accrues in :attr:`noc_wait_cycles`.
     noc_hops: int = 0
     #: Cycles packets queued for a busy NoC ring channel.
     noc_wait_cycles: float = 0.0
@@ -84,6 +86,27 @@ class LatencyCounters:
         key = (src, dst)
         self._edge_total[key] = self._edge_total.get(key, 0.0) + latency
         self._edge_count[key] = self._edge_count.get(key, 0) + 1
+
+    def bulk_record(self, node_total: list[float], node_count: int,
+                    edge_total: dict[tuple[int, int], float],
+                    edge_count: dict[tuple[int, int], int]) -> None:
+        """Fold pre-accumulated sums from a plan-compiled run.
+
+        ``node_total`` is indexed by node id; every node completed
+        ``node_count`` times (the engine records one completion per node per
+        iteration).  Edge dicts carry the summed transfer latencies and
+        event counts keyed ``(src, dst)``.
+        """
+        if node_count:
+            for node_id, total in enumerate(node_total):
+                self._node_total[node_id] = (
+                    self._node_total.get(node_id, 0.0) + total)
+                self._node_count[node_id] = (
+                    self._node_count.get(node_id, 0) + node_count)
+        for key, total in edge_total.items():
+            self._edge_total[key] = self._edge_total.get(key, 0.0) + total
+        for key, count in edge_count.items():
+            self._edge_count[key] = self._edge_count.get(key, 0) + count
 
     def node_latency(self, node_id: int) -> float:
         """Average measured L_i for a node (0 if never executed)."""

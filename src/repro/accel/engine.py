@@ -19,6 +19,18 @@ Execution modes mirror the paper's loop-level optimizations (§4.3):
 Functional results are mode-independent (the paper only tiles loops that are
 explicitly parallel), so the engine always executes iterations sequentially
 for correctness and applies the mode's timing model for cycle counts.
+
+Two execution paths produce bit-identical results:
+
+* the **plan-compiled** path (default) drives each iteration from a
+  precompiled :class:`~repro.accel.plan.ExecutionPlan` — operand routing,
+  transfer latencies, operation evaluators, and memory descriptors are all
+  resolved once per program, and the iteration loop touches only flat lists
+  indexed by node id;
+* the **interpreter** path (``compiled=False``) walks the configured nodes
+  directly, re-deriving every static fact per iteration.  It is the
+  executable specification the golden tests in
+  ``tests/accel/test_plan_equivalence.py`` compare against.
 """
 
 from __future__ import annotations
@@ -44,6 +56,7 @@ from ..mem import (
 from .config import AcceleratorConfig
 from .counters import ActivityCounters, LatencyCounters
 from .interconnect import Interconnect, build_interconnect
+from .plan import K_LOOP, K_NODE, N_CONTROL, N_MEMORY, compile_plan
 from .program import AcceleratorProgram, ConfiguredNode, Operand, OperandKind
 
 __all__ = ["ExecutionOptions", "AcceleratorRun", "DataflowEngine"]
@@ -110,13 +123,18 @@ class DataflowEngine:
 
     def __init__(self, program: AcceleratorProgram,
                  hierarchy: MemoryHierarchy | None = None,
-                 interconnect: Interconnect | None = None) -> None:
+                 interconnect: Interconnect | None = None,
+                 compiled: bool = True) -> None:
         program.validate_placement()
         self.program = program
         self.config: AcceleratorConfig = program.config
         self.hierarchy = hierarchy if hierarchy is not None else MemoryHierarchy()
         self.interconnect = (interconnect if interconnect is not None
                              else build_interconnect(self.config))
+        #: The compiled form of the program (shared across engines over the
+        #: same program and interconnect value).
+        self.plan = compile_plan(program, self.interconnect)
+        self._compiled = compiled
         #: Per-row NoC ring channels (created on first use).
         self._noc_channels: dict[int, MemoryPorts] = {}
 
@@ -137,14 +155,270 @@ class DataflowEngine:
         self._noc_channels.clear()
         latency = LatencyCounters()
         activity = ActivityCounters()
-
         reg_env = {reg: state.read(reg) for reg in self.program.live_in}
+
+        drive = self._drive_compiled if self._compiled else self._drive_interpreted
+        iterations, iteration_latencies = drive(
+            state, reg_env, ports, latency, activity, options)
+
+        mean_latency = (sum(iteration_latencies) / len(iteration_latencies)
+                        if iteration_latencies else 0.0)
+        total_cycles, ii = self._total_cycles(
+            iterations, iteration_latencies, mean_latency, options, ports)
+        return AcceleratorRun(
+            iterations=iterations,
+            cycles=total_cycles,
+            iteration_latency=mean_latency,
+            initiation_interval=ii,
+            latency=latency,
+            activity=activity,
+            final_state=state,
+        )
+
+    # -- plan-compiled execution -------------------------------------------------
+
+    def _drive_compiled(self, state, reg_env, ports,
+                        latency: LatencyCounters, activity: ActivityCounters,
+                        options: ExecutionOptions):
+        """Run the loop via the precompiled plan (flat lists per node id)."""
+        plan = self.plan
+        nodes = plan.nodes
+        n = plan.n_nodes
+        has_memory = plan.has_memory
+        loop_branch = plan.loop_branch_id
+        max_iterations = options.max_iterations
+        const1, const2, const_fb = plan.bind_constants(reg_env)
+        noc_channels = self._noc_channels
+
+        # Accumulated in flat structures, folded into the counters at the
+        # end.  Per-node totals and per-edge totals are summed in the same
+        # event order the interpreter uses, so float sums stay identical.
+        node_total = [0.0] * n
+        edge_total: dict[tuple[int, int], float] = {}
+        edge_count: dict[tuple[int, int], int] = {}
+        int_ops = fp_ops = forwards = control_events = 0
+        local_hops = pe_busy = 0
+
+        def transfer(e, depart):
+            """Static edge latency plus (for NoC routes) ring-channel wait."""
+            nonlocal local_hops
+            if e.is_local:
+                cycles = e.cycles
+                local_hops += e.manhattan
+            else:
+                channel = noc_channels.get(e.src_row)
+                if channel is None:
+                    channel = MemoryPorts(num_ports=1)
+                    noc_channels[e.src_row] = channel
+                grant = channel.request(depart)
+                wait = grant - depart
+                cycles = e.cycles + wait
+                activity.noc_hops += e.router_hops
+                activity.noc_wait_cycles += wait
+            key = e.key
+            edge_total[key] = edge_total.get(key, 0.0) + cycles
+            edge_count[key] = edge_count.get(key, 0) + 1
+            return cycles
+
+        prev_values: list = []
+        iteration_latencies: list[float] = []
+        clock = 0.0
+        iterations = 0
+        while True:
+            start = clock
+            first = iterations == 0
+            values = [0] * n
+            completion = [0.0] * n
+            branch_state = [False] * n
+            loop_taken = False
+            lsq = LoadStoreQueue(capacity=n or 1) if has_memory else None
+            vector_grants: dict[int, float] = {}
+            stores_seen: list[tuple[int, int, int, float]] = []
+
+            for node in nodes:
+                i = node.node_id
+                op = node.src1
+                kind = op.kind
+                if kind == K_NODE:
+                    src = op.src_id
+                    depart = completion[src]
+                    a = values[src]
+                    a_arr = depart + transfer(op.edge, depart)
+                elif kind == K_LOOP and not first:
+                    a = prev_values[op.src_id]
+                    a_arr = start + transfer(op.edge, start)
+                else:
+                    a = const1[i]
+                    a_arr = start
+                op = node.src2
+                kind = op.kind
+                if kind == K_NODE:
+                    src = op.src_id
+                    depart = completion[src]
+                    b = values[src]
+                    b_arr = depart + transfer(op.edge, depart)
+                elif kind == K_LOOP and not first:
+                    b = prev_values[op.src_id]
+                    b_arr = start + transfer(op.edge, start)
+                else:
+                    b = const2[i]
+                    b_arr = start
+                ready = max(start, a_arr, b_arr)
+
+                guard = node.guard_branch
+                if guard >= 0 and branch_state[guard]:
+                    # Predicated off: forward the old destination value (§5).
+                    op = node.fallback
+                    kind = op.kind
+                    if kind == K_NODE:
+                        src = op.src_id
+                        depart = completion[src]
+                        value = values[src]
+                        fb_arr = depart + transfer(op.edge, depart)
+                    elif kind == K_LOOP and not first:
+                        value = prev_values[op.src_id]
+                        fb_arr = start + transfer(op.edge, start)
+                    else:
+                        value = const_fb[i]
+                        fb_arr = start
+                    done = ready if ready > fb_arr else fb_arr
+                    forwards += 1
+                    control_events += 1
+                    if node.is_store:
+                        value = 0  # suppressed store produces nothing
+                elif node.kind == N_MEMORY:
+                    value, done = self._run_memory_fast(
+                        node, int(a), b, ready, state, lsq, ports, activity,
+                        iterations, vector_grants, completion, stores_seen,
+                        options)
+                elif node.kind == N_CONTROL:
+                    taken = node.evaluate(a, b)
+                    branch_state[i] = taken
+                    if node.is_loop_branch:
+                        loop_taken = taken
+                    value = int(taken)
+                    done = ready + node.latency
+                    control_events += 1
+                else:
+                    value = node.evaluate(a, b)
+                    done = ready + node.latency
+                    if node.is_fp:
+                        fp_ops += 1
+                    else:
+                        int_ops += 1
+                    pe_busy += node.latency
+
+                values[i] = value
+                completion[i] = done
+                node_total[i] += done - start
+
+            iteration_end = max(completion) if n else clock
+            iteration_latencies.append(iteration_end - clock)
+            clock = iteration_end  # barrier between iterations
+            prev_values = values
+            iterations += 1
+            if loop_branch is None or not loop_taken:
+                break
+            if iterations >= max_iterations:
+                break
+
+        # Write live-out registers back to the architectural state.
+        for register, node_id in self.program.live_out.items():
+            if 0 <= node_id < n:
+                state.write(register, prev_values[node_id])
+
+        latency.bulk_record(node_total, iterations, edge_total, edge_count)
+        activity.int_ops += int_ops
+        activity.fp_ops += fp_ops
+        activity.forwards += forwards
+        activity.control_events += control_events
+        activity.local_hops += local_hops
+        activity.pe_busy_cycles += pe_busy
+        return iterations, iteration_latencies
+
+    def _run_memory_fast(self, node, base: int, data, ready, state, lsq,
+                         ports: MemoryPorts, activity: ActivityCounters,
+                         iteration: int, vector_grants: dict[int, float],
+                         completion: list[float],
+                         stores_seen: list[tuple[int, int, int, float]],
+                         options: ExecutionOptions):
+        """Plan-driven load/store entry: disambiguation, forwarding, ports."""
+        m = node.memory
+        node_id = node.node_id
+        address = (base + m.imm) & self.plan.xlen_mask
+        if m.is_load:
+            lsq.push(node_id, AccessKind.LOAD, pc=m.pc, size=m.size)
+            outcome, store = lsq.resolve_load(node_id, address)
+            activity.loads += 1
+            if outcome is LoadOutcome.FORWARDED:
+                value = m.from_raw(state.memory.load(address, m.size))
+                store_done = completion[store.seq]
+                fwd_done = (max(ready, store_done) + self.plan.store_issue)
+                if options.speculative_loads and ready < store_done:
+                    # The load issued before the store resolved, already
+                    # read stale data, and is *invalidated* when the store
+                    # broadcasts — "this invalidation forces the new value
+                    # to propagate through the remainder of the DFG" (§4.2).
+                    activity.load_replays += 1
+                    return value, max(fwd_done,
+                                      store_done + options.replay_penalty)
+                # The forwarding path delivers the data directly.
+                activity.lsq_forwards += 1
+                return value, fwd_done
+            if not options.speculative_loads:
+                # Conservative ordering: wait for every older store's
+                # address to resolve before issuing.
+                for _, _, _, store_done in stores_seen:
+                    ready = max(ready, store_done)
+            # Vectorized loads piggyback on their group's port grant.
+            group = m.vector_group
+            if group is not None and group in vector_grants:
+                grant = max(ready, vector_grants[group])
+            else:
+                grant = ports.request(ready)
+                if group is not None:
+                    vector_grants[group] = grant
+            cycles = self.hierarchy.access(address, pc=m.pc)
+            if m.prefetched and iteration > 0:
+                # Issued an iteration early: only the L1 latency is exposed.
+                cycles = min(cycles, self.hierarchy.ideal_latency)
+            value = m.from_raw(state.memory.load(address, m.size))
+            done = grant + cycles
+            if options.speculative_loads:
+                # §4.2 invalidation: an older store whose address resolved
+                # *after* this load issued and overlaps it forces the new
+                # value to re-propagate through the DFG.
+                for _, s_addr, s_size, s_done in stores_seen:
+                    overlaps = (s_addr < address + m.size
+                                and address < s_addr + s_size)
+                    if overlaps and s_done > grant:
+                        activity.load_replays += 1
+                        done = max(done, s_done + options.replay_penalty)
+                        break
+            return value, done
+        # Store: commit the value to memory; timing is port grant + hand-off.
+        lsq.push(node_id, AccessKind.STORE, pc=m.pc, size=m.size)
+        lsq.resolve_store(node_id, address)
+        activity.stores += 1
+        grant = ports.request(ready)
+        self.hierarchy.access(address, is_write=True, pc=m.pc)
+        state.memory.store(address, m.size, m.to_raw(data))
+        done = grant + self.plan.store_issue
+        stores_seen.append((node_id, address, m.size, done))
+        return 0, done
+
+    # -- interpreter execution ---------------------------------------------------
+
+    def _drive_interpreted(self, state, reg_env, ports,
+                           latency: LatencyCounters,
+                           activity: ActivityCounters,
+                           options: ExecutionOptions):
+        """Run the loop node-by-node (the executable specification)."""
         prev_values: dict[int, int | float] = {}
         iteration_latencies: list[float] = []
         clock = 0.0
         iterations = 0
         exited = False
-
         while not exited and iterations < options.max_iterations:
             values, completion, loop_taken = self._run_iteration(
                 state, reg_env, prev_values, iterations, clock,
@@ -162,20 +436,7 @@ class DataflowEngine:
         for register, node_id in self.program.live_out.items():
             if node_id in prev_values:
                 state.write(register, prev_values[node_id])
-
-        mean_latency = (sum(iteration_latencies) / len(iteration_latencies)
-                        if iteration_latencies else 0.0)
-        total_cycles, ii = self._total_cycles(
-            iterations, iteration_latencies, mean_latency, options, ports)
-        return AcceleratorRun(
-            iterations=iterations,
-            cycles=total_cycles,
-            iteration_latency=mean_latency,
-            initiation_interval=ii,
-            latency=latency,
-            activity=activity,
-            final_state=state,
-        )
+        return iterations, iteration_latencies
 
     # -- one iteration -----------------------------------------------------------
 
@@ -284,7 +545,10 @@ class DataflowEngine:
             grant = channel.request(depart)
             wait = grant - depart
             cycles += wait
-            activity.noc_hops += int(cycles)
+            # Hops measure router activity (energy per traversal); queue
+            # time is tracked separately as noc_wait_cycles.
+            activity.noc_hops += self.interconnect.router_hops(
+                src.coord, dst.coord)
             activity.noc_wait_cycles += wait
         latency.record_edge(src_id, dst.node_id, cycles)
         return cycles
@@ -399,14 +663,7 @@ class DataflowEngine:
         barrier_total = float(sum(iteration_latencies))
         # Port requests per iteration: every store and ungrouped load is one
         # request; a vector group of loads shares a single grant.
-        groups = set()
-        memory_per_iter = 0
-        for node in self.program.memory_nodes:
-            if node.instruction.is_load and node.vector_group is not None:
-                groups.add(node.vector_group)
-            else:
-                memory_per_iter += 1
-        memory_per_iter += len(groups)
+        memory_per_iter = self.plan.memory_per_iter
         port_count = math.inf if ports.unlimited else ports.num_ports
         issue = ports.issue_interval
 
@@ -429,19 +686,18 @@ class DataflowEngine:
             # group shares one transaction; stores drain from a buffer.
             occupancy = 0.0
             seen_groups: set[int] = set()
-            for node in self.program.memory_nodes:
-                instr = node.instruction
-                if instr.is_store:
+            for is_store, group, prefetched, pc in self.plan.occupancy_entries:
+                if is_store:
                     occupancy += self.config.latencies.store_issue
                     continue
-                if node.vector_group is not None:
-                    if node.vector_group in seen_groups:
+                if group is not None:
+                    if group in seen_groups:
                         continue
-                    seen_groups.add(node.vector_group)
-                if node.prefetched:
+                    seen_groups.add(group)
+                if prefetched:
                     occupancy += self.hierarchy.ideal_latency
                 else:
-                    occupancy += (self.hierarchy.amat(instr.address)
+                    occupancy += (self.hierarchy.amat(pc)
                                   or self.hierarchy.ideal_latency)
             occupancy_ii = tile * occupancy / self.config.lsu_entries
 
@@ -455,52 +711,6 @@ class DataflowEngine:
         return total, ii
 
     def _recurrence_ii(self) -> float:
-        """Loop-carried recurrence bound on the initiation interval.
-
-        For each loop-carried edge (u -> v, distance 1), the cycle through
-        the intra-iteration longest path from v to u plus the transfer
-        latency constrains II (standard modulo-scheduling RecMII with all
-        dependence distances equal to 1).
-        """
-        lat = self.config.latencies
-        # Longest intra-iteration completion offset from node v to node u,
-        # following same-iteration DFG edges.
-        def op_latency(node: ConfiguredNode) -> float:
-            if node.is_memory:
-                return float(self.hierarchy.ideal_latency)
-            try:
-                return float(lat.for_instruction(node.instruction))
-            except KeyError:
-                return 1.0
-
-        best = 1.0
-        for node in self.program.nodes:
-            for operand in node.operands():
-                if operand.kind is not OperandKind.LOOP_CARRIED:
-                    continue
-                producer = operand.node_id
-                transfer = self.interconnect.latency(
-                    self.program.node(producer).coord, node.coord)
-                path = self._longest_path(node.node_id, producer, op_latency)
-                if path is not None:
-                    best = max(best, path + transfer)
-        return best
-
-    def _longest_path(self, src: int, dst: int, op_latency) -> float | None:
-        """Longest same-iteration path latency from node src to node dst
-        (inclusive of both ops), or None if unreachable."""
-        if src > dst:
-            return None
-        # DP over program order: dist[n] = longest arrival at n's output.
-        dist: dict[int, float] = {src: op_latency(self.program.node(src))}
-        for node in self.program.nodes[src + 1:dst + 1]:
-            best: float | None = None
-            for operand in node.operands():
-                if operand.kind is OperandKind.NODE and operand.node_id in dist:
-                    transfer = self.interconnect.latency(
-                        self.program.node(operand.node_id).coord, node.coord)
-                    arrival = dist[operand.node_id] + transfer
-                    best = arrival if best is None else max(best, arrival)
-            if best is not None:
-                dist[node.node_id] = best + op_latency(node)
-        return dist.get(dst)
+        """Loop-carried recurrence bound on the initiation interval (RecMII),
+        computed once per plan and memory model."""
+        return self.plan.recurrence_ii(self.hierarchy.ideal_latency)

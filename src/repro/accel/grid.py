@@ -101,3 +101,24 @@ class PEGrid:
         c0, c1 = max(0, col - radius), min(self.config.cols, col + radius + 1)
         window = self.free[r0:r1, c0:c1]
         return int(window.sum()) - int(self.free[row, col])
+
+    def free_neighbourhood_matrix(self, radius: int = 1) -> np.ndarray:
+        """:meth:`free_neighbourhood` for every PE at once.
+
+        Computed with a summed-area table over ``F_free`` so the mapper can
+        tie-break a whole candidate matrix in one shot; entry ``[r, c]``
+        equals ``free_neighbourhood((r, c), radius)`` exactly.
+        """
+        rows, cols = self.shape
+        free = self.free.astype(np.int64)
+        integral = np.zeros((rows + 1, cols + 1), dtype=np.int64)
+        np.cumsum(np.cumsum(free, axis=0), axis=1, out=integral[1:, 1:])
+        r = np.arange(rows)
+        c = np.arange(cols)
+        r0 = np.maximum(0, r - radius)
+        r1 = np.minimum(rows, r + radius + 1)
+        c0 = np.maximum(0, c - radius)
+        c1 = np.minimum(cols, c + radius + 1)
+        window = (integral[np.ix_(r1, c1)] - integral[np.ix_(r0, c1)]
+                  - integral[np.ix_(r1, c0)] + integral[np.ix_(r0, c0)])
+        return window - free

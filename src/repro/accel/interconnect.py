@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 
+import numpy as np
+
 from .config import AcceleratorConfig, Coord, InterconnectKind
 
 __all__ = [
@@ -40,10 +42,48 @@ class Interconnect(ABC):
 
     def __init__(self, config: AcceleratorConfig) -> None:
         self.config = config
+        #: Cached ``latency_matrix`` results keyed by source coordinate —
+        #: the matrix is a pure function of the (immutable) config.
+        self._matrix_cache: dict[Coord, np.ndarray] = {}
 
     @abstractmethod
     def latency(self, src: Coord, dst: Coord) -> int:
         """Data-transfer latency in cycles from ``src`` to ``dst``."""
+
+    def latency_matrix(self, src: Coord) -> np.ndarray:
+        """Vectorized ``l(C)``: latency from ``src`` to every PE of the grid.
+
+        Returns a read-only ``(rows, cols)`` int array — the latency term of
+        the mapper's Eq. 1 candidate evaluation, computed for the whole
+        candidate matrix at once.  ``src`` may be a load/store-entry
+        coordinate (column ``-1``).  Results are cached per source.
+        """
+        cached = self._matrix_cache.get(src)
+        if cached is None:
+            cached = self._compute_matrix(src)
+            cached.setflags(write=False)
+            self._matrix_cache[src] = cached
+        return cached
+
+    def _compute_matrix(self, src: Coord) -> np.ndarray:
+        """Fallback dense computation; topologies override with closed forms."""
+        rows, cols = self.config.rows, self.config.cols
+        return np.array(
+            [[self.latency(src, (r, c)) for c in range(cols)]
+             for r in range(rows)],
+            dtype=np.int64,
+        )
+
+    def router_hops(self, src: Coord, dst: Coord) -> int:
+        """Router-to-router hops a NoC-routed packet traverses.
+
+        This is the *activity* a transfer induces on the secondary
+        interconnect (one router traversal per hop), as opposed to its
+        latency — queue wait is accounted separately as ``noc_wait_cycles``.
+        Topologies without an explicit router structure count one backbone
+        traversal per transfer.
+        """
+        return 0 if src == dst else 1
 
     @property
     def name(self) -> str:
@@ -51,6 +91,13 @@ class Interconnect(ABC):
 
     def _manhattan(self, src: Coord, dst: Coord) -> int:
         return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+    def _grid_distances(self, src: Coord) -> tuple[np.ndarray, np.ndarray]:
+        """|row - src_row| and |col - src_col| over the whole grid."""
+        rows, cols = self.config.rows, self.config.cols
+        dr = np.abs(np.arange(rows) - src[0])[:, None]
+        dc = np.abs(np.arange(cols) - src[1])[None, :]
+        return np.broadcast_to(dr, (rows, cols)), np.broadcast_to(dc, (rows, cols))
 
 
 class MeshInterconnect(Interconnect):
@@ -60,6 +107,10 @@ class MeshInterconnect(Interconnect):
         if src == dst:
             return 0
         return self._manhattan(src, dst) * self.config.local_hop_latency
+
+    def _compute_matrix(self, src: Coord) -> np.ndarray:
+        dr, dc = self._grid_distances(src)
+        return (dr + dc) * self.config.local_hop_latency
 
 
 class RowSliceInterconnect(Interconnect):
@@ -76,6 +127,16 @@ class RowSliceInterconnect(Interconnect):
         if src[0] == dst[0]:
             return self.config.local_hop_latency
         return self.config.cross_row_latency
+
+    def _compute_matrix(self, src: Coord) -> np.ndarray:
+        rows, cols = self.config.rows, self.config.cols
+        matrix = np.full((rows, cols), self.config.cross_row_latency,
+                         dtype=np.int64)
+        if 0 <= src[0] < rows:
+            matrix[src[0], :] = self.config.local_hop_latency
+            if 0 <= src[1] < cols:
+                matrix[src[0], src[1]] = 0
+        return matrix
 
 
 class MeshNocInterconnect(Interconnect):
@@ -94,6 +155,28 @@ class MeshNocInterconnect(Interconnect):
             return 0
         local = self._manhattan(src, dst) * self.config.local_hop_latency
         return min(local, self._noc_latency(src, dst))
+
+    def _compute_matrix(self, src: Coord) -> np.ndarray:
+        cfg = self.config
+        dr, dc = self._grid_distances(src)
+        local = (dr + dc) * cfg.local_hop_latency
+        src_row, src_slice = self._router(src)
+        slice_of = np.arange(cfg.cols) // cfg.noc_slice
+        slice_hops = np.abs(slice_of - src_slice)[None, :]
+        row_hops = np.abs(np.arange(cfg.rows) - src_row)[:, None]
+        noc = (2 * cfg.noc_inject_latency
+               + (slice_hops + row_hops) * cfg.noc_hop_latency)
+        matrix = np.minimum(local, noc)
+        if 0 <= src[0] < cfg.rows and 0 <= src[1] < cfg.cols:
+            matrix[src[0], src[1]] = 0
+        return matrix
+
+    def router_hops(self, src: Coord, dst: Coord) -> int:
+        if src == dst:
+            return 0
+        src_router, dst_router = self._router(src), self._router(dst)
+        return (abs(src_router[1] - dst_router[1])
+                + abs(src_router[0] - dst_router[0]))
 
     def _router(self, coord: Coord) -> tuple[int, int]:
         """(row, slice index) of the router serving a coordinate."""

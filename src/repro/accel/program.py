@@ -120,6 +120,10 @@ class AcceleratorProgram:
     live_out: dict[Register, int] = field(default_factory=dict)
     #: Registers read before written (must be transferred at offload).
     live_in: set[Register] = field(default_factory=set)
+    #: Compiled execution plans keyed by interconnect value — see
+    #: :func:`repro.accel.plan.compile_plan`.  Excluded from comparison and
+    #: repr: it is derived state, not part of the configuration.
+    plan_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         for index, node in enumerate(self.nodes):

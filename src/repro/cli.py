@@ -66,6 +66,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--repeat", type=int, default=1,
                          help="execute the kernel N times on one controller "
                               "(re-encounters hit the configuration cache)")
+    run_cmd.add_argument("--profile", action="store_true",
+                         help="profile the simulator itself: print host wall "
+                              "time and the cProfile hot spots of each "
+                              "pipeline phase (translate / map / execute)")
+    run_cmd.add_argument("--profile-top", type=int, default=10,
+                         metavar="N",
+                         help="rows of cProfile output per phase (default 10)")
 
     fig_cmd = sub.add_parser("fig", help="regenerate one figure")
     fig_cmd.add_argument("number", choices=sorted(_FIG_DRIVERS))
@@ -83,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args) -> str:
     kernel = build_kernel(args.kernel, iterations=args.iterations)
     controller = MesaController(mesa_config(args.config))
+    controller.profile_phases = args.profile
     parallel = False if args.serial else kernel.parallelizable
     repeats = max(1, args.repeat)
     result = controller.execute(kernel.program, kernel.state_factory,
@@ -124,6 +132,34 @@ def _cmd_run(args) -> str:
             f"{rerun.total_cycles:.0f} total cycles")
     lines.append(
         f"cache:       {format_cache_stats(controller.config_cache.stats())}")
+    if args.profile:
+        lines.append("")
+        lines.append(_render_profile(controller, result, args.profile_top))
+    return "\n".join(lines)
+
+
+def _render_profile(controller: MesaController, result,
+                    top: int) -> str:
+    """Host-side profile of the pipeline: wall seconds per phase, then the
+    cProfile hot spots of each phase (all repeats accumulated)."""
+    import io
+    import pstats
+
+    lines = ["simulator profile (host time, not modeled cycles):"]
+    total = sum(result.phase_seconds.values()) or 1.0
+    for phase, seconds in sorted(result.phase_seconds.items(),
+                                 key=lambda item: -item[1]):
+        lines.append(f"  {phase:<10} {seconds * 1e3:9.2f} ms "
+                     f"({100.0 * seconds / total:5.1f}%)")
+    for phase, profiler in controller.phase_profiles.items():
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        body = [line for line in stream.getvalue().splitlines()
+                if line.strip()][1:]  # drop the "N function calls" banner
+        lines.append("")
+        lines.append(f"-- {phase}: top {top} by cumulative time " + "-" * 20)
+        lines.extend(body)
     return "\n".join(lines)
 
 

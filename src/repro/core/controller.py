@@ -28,11 +28,14 @@ cache is shared — and thread-safe — across all cores.
 
 from __future__ import annotations
 
+import cProfile
 import hashlib
 import math
 import struct
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterator
 
 from ..accel import (
     AcceleratorConfig,
@@ -193,6 +196,10 @@ class MesaResult:
     config_cache_hit: bool = False
     #: Cache activity attributable to *this* execute call.
     cache_stats: CacheStats = field(default_factory=CacheStats)
+    #: Host wall-clock seconds per pipeline phase (trace, cpu-model, detect,
+    #: translate, map, optimize, configure, execute) — simulation cost, not
+    #: modeled cycles.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_cycles(self) -> float:
@@ -242,13 +249,42 @@ class MesaController:
         self.options = options if options is not None else MesaOptions()
         self.interconnect = build_interconnect(config)
         self.config_cache = ConfigCache()
+        #: Enable per-phase cProfile capture (``repro run --profile``).
+        self.profile_phases = False
+        #: Accumulated cProfile data per phase, when enabled.
+        self.phase_profiles: dict[str, cProfile.Profile] = {}
+        self._phase_seconds: dict[str, float] = {}
+
+    @contextmanager
+    def _phase(self, name: str) -> Iterator[None]:
+        """Attribute the enclosed work to one pipeline phase.
+
+        Phases are flat (never nested) so a single cProfile.Profile per
+        phase can be enabled/disabled around the section; wall seconds
+        always accumulate into the current execute's ``phase_seconds``.
+        """
+        profiler = None
+        if self.profile_phases:
+            profiler = self.phase_profiles.setdefault(name, cProfile.Profile())
+            profiler.enable()
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if profiler is not None:
+                profiler.disable()
+            self._phase_seconds[name] = (
+                self._phase_seconds.get(name, 0.0) + elapsed)
 
     # -- top level ------------------------------------------------------------
 
     def execute(self, program: Program,
                 state_factory: Callable[[], MachineState],
                 parallelizable: bool = False,
-                max_steps: int = 4_000_000) -> MesaResult:
+                max_steps: int = 4_000_000,
+                trace: Trace | None = None,
+                cpu_only: CoreResult | None = None) -> MesaResult:
         """Run a program on the MESA-enabled system.
 
         Args:
@@ -259,24 +295,42 @@ class MesaController:
             parallelizable: the hot loop carries an OpenMP-style annotation
                 (enables tiling/pipelining, §4.3).
             max_steps: functional-execution safety bound.
+            trace: precollected dynamic trace of ``program`` from a fresh
+                ``state_factory()`` state.  Trace collection is
+                deterministic, so a caller running several backends over the
+                same binary (the benchmark harness) can collect once and
+                share; omitted, the controller collects its own.
+            cpu_only: the matching CPU-baseline core result, likewise
+                shareable across calls with the same ``cpu_config``.
         """
         tally = {"hits": 0, "misses": 0, "evictions": 0, "insertions": 0}
+        self._phase_seconds = {}
         result = self._run(program, state_factory, parallelizable, max_steps,
-                           tally)
+                           tally, trace, cpu_only)
         result.cache_stats = CacheStats(**tally)
         result.config_cache_hit = tally["hits"] > 0
+        result.phase_seconds = dict(self._phase_seconds)
         return result
 
     def _run(self, program: Program,
              state_factory: Callable[[], MachineState],
              parallelizable: bool, max_steps: int,
-             tally: dict[str, int]) -> MesaResult:
-        trace = collect_trace(program, state_factory(), max_steps=max_steps)
-        cpu_only = OutOfOrderCore(
-            self.cpu_config, MemoryHierarchy(self.cpu_config.memory)).run(trace)
+             tally: dict[str, int],
+             trace: Trace | None = None,
+             cpu_only: CoreResult | None = None) -> MesaResult:
+        if trace is None:
+            with self._phase("trace"):
+                trace = collect_trace(program, state_factory(),
+                                      max_steps=max_steps)
+        if cpu_only is None:
+            with self._phase("cpu-model"):
+                cpu_only = OutOfOrderCore(
+                    self.cpu_config,
+                    MemoryHierarchy(self.cpu_config.memory)).run(trace)
 
         detector = CodeRegionDetector(self.config, self.options.criteria)
-        decisions = detector.detect(trace, program)
+        with self._phase("detect"):
+            decisions = detector.detect(trace, program)
         accepted = [d for d in decisions if d.accepted]
         if not accepted:
             reason = ("no hot loop detected" if not decisions else
@@ -314,18 +368,22 @@ class MesaController:
                 # Iterative re-optimization (F3) on the primary region.
                 optimizer = IterativeOptimizer(
                     self.config, self.options.mapping, self.interconnect)
-                sdfg = optimizer.optimize(
-                    sdfg.ldfg, sdfg,
-                    state_factory=lambda d=decision: self._state_at_loop_entry(
-                        program, d, state_factory(), max_steps),
-                    hierarchy=MemoryHierarchy(self.cpu_config.memory),
-                    rounds=self.options.iterative_rounds,
-                    profile_iterations=self.options.profile_iterations,
-                )
+                with self._phase("optimize"):
+                    sdfg = optimizer.optimize(
+                        sdfg.ldfg, sdfg,
+                        state_factory=lambda d=decision:
+                            self._state_at_loop_entry(
+                                program, d, state_factory(), max_steps),
+                        hierarchy=MemoryHierarchy(self.cpu_config.memory),
+                        rounds=self.options.iterative_rounds,
+                        profile_iterations=self.options.profile_iterations,
+                    )
                 optimizer_history = optimizer.history
-            regions.append(self._configure_region(
-                decision, translated, sdfg, parallelizable, trace, cpi,
-                digest, tally))
+            with self._phase("configure"):
+                region = self._configure_region(
+                    decision, translated, sdfg, parallelizable, trace, cpi,
+                    digest, tally)
+            regions.append(region)
         if not regions:
             # Every per-region failure is preserved: a later region's
             # reason must not be dropped because an earlier one was
@@ -335,9 +393,10 @@ class MesaController:
                 "; ".join(unique_reasons) or "no region survived translation",
                 trace, cpu_only, accepted[0])
 
-        return self._execute_with_offload(
-            program, state_factory, regions, trace, cpu_only,
-            accel_hierarchy, optimizer_history, max_steps)
+        with self._phase("execute"):
+            return self._execute_with_offload(
+                program, state_factory, regions, trace, cpu_only,
+                accel_hierarchy, optimizer_history, max_steps)
 
     def _configure_region(self, decision, translated: TranslationResult,
                           sdfg, parallelizable, trace, cpi, digest,
@@ -430,30 +489,32 @@ class MesaController:
         Returns a :class:`TranslationResult` on success, or the failure
         reason as a string when the region cannot be translated or mapped.
         """
-        trace_cache = TraceCache(self.config.max_instructions)
-        trace_cache.set_region(decision.loop.start_address,
-                               decision.loop.end_address)
-        for entry in trace:
-            trace_cache.observe_fetch(entry.instruction)
-            if trace_cache.complete:
-                break
-        if not trace_cache.complete:
-            trace_cache.fill_missing(program)
+        with self._phase("translate"):
+            trace_cache = TraceCache(self.config.max_instructions)
+            trace_cache.set_region(decision.loop.start_address,
+                                   decision.loop.end_address)
+            for entry in trace:
+                trace_cache.observe_fetch(entry.instruction)
+                if trace_cache.complete:
+                    break
+            if not trace_cache.complete:
+                trace_cache.fill_missing(program)
 
-        try:
-            ldfg = build_ldfg(trace_cache.body(),
-                              latencies=self.config.latencies)
-        except LdfgError as exc:
-            return f"translation failed: {exc}"
-        memopt_report = None
-        if self.options.memopt:
-            memopt_report = apply_memory_optimizations(ldfg)
+            try:
+                ldfg = build_ldfg(trace_cache.body(),
+                                  latencies=self.config.latencies)
+            except LdfgError as exc:
+                return f"translation failed: {exc}"
+            memopt_report = None
+            if self.options.memopt:
+                memopt_report = apply_memory_optimizations(ldfg)
         mapper = InstructionMapper(self.config, self.interconnect,
                                    self.options.mapping)
-        try:
-            sdfg = mapper.map(ldfg)
-        except MappingError as exc:
-            return f"mapping failed: {exc}"
+        with self._phase("map"):
+            try:
+                sdfg = mapper.map(ldfg)
+            except MappingError as exc:
+                return f"mapping failed: {exc}"
         return TranslationResult(sdfg=sdfg, memopt_report=memopt_report,
                                  trace_cache=trace_cache,
                                  mapper_stats=mapper.stats)

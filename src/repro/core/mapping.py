@@ -187,17 +187,30 @@ class InstructionMapper:
     def _best_position(self, entry: LdfgEntry, mask: np.ndarray, grid: PEGrid,
                        positions: dict[int, Coord],
                        completion: dict[int, float]) -> Coord | None:
-        """arg min of the latency matrix l(C), with the paper's tie-break."""
-        best: Coord | None = None
-        best_key: tuple[float, int, int, int] | None = None
-        for row, col in zip(*np.nonzero(mask)):
-            coord = (int(row), int(col))
-            latency = self._expected_latency(entry, coord, positions, completion)
-            self.stats.candidates_evaluated += 1
-            key = (latency, -grid.free_neighbourhood(coord), coord[0], coord[1])
-            if best_key is None or key < best_key:
-                best_key, best = key, coord
-        return best
+        """arg min of the latency matrix l(C), with the paper's tie-break.
+
+        Evaluates the whole candidate matrix at once: each placed source
+        contributes ``completion + latency_matrix(src)`` and the element-wise
+        max across sources is Eq. 1 at every candidate.  The paper's
+        tie-break order — more free neighbours, then row-major position — is
+        replicated with a stable lexicographic sort, so the chosen PE is
+        exactly the one the per-candidate scan picked.
+        """
+        cand_r, cand_c = np.nonzero(mask)
+        if cand_r.size == 0:
+            return None
+        self.stats.candidates_evaluated += int(cand_r.size)
+        arrival = np.zeros(cand_r.size, dtype=np.float64)
+        for ref in (entry.s1, entry.s2):
+            if ref.kind is SourceKind.NODE and ref.node_id in positions:
+                transfer = self.interconnect.latency_matrix(
+                    positions[ref.node_id])[cand_r, cand_c]
+                np.maximum(arrival, completion.get(ref.node_id, 0.0) + transfer,
+                           out=arrival)
+        latency = entry.op_latency + arrival
+        free = grid.free_neighbourhood_matrix()[cand_r, cand_c]
+        best = np.lexsort((cand_c, cand_r, -free, latency))[0]
+        return (int(cand_r[best]), int(cand_c[best]))
 
     def _expected_latency(self, entry: LdfgEntry, coord: Coord,
                           positions: dict[int, Coord],

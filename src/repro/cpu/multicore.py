@@ -64,19 +64,29 @@ class MulticoreCpu:
         self.config = config if config is not None else CpuConfig(num_cores=16)
         self.bandwidth = bandwidth if bandwidth is not None else BandwidthModel()
 
-    def run(self, trace: Trace, parallel_fraction: float = 1.0) -> MulticoreResult:
+    def run(self, trace: Trace, parallel_fraction: float = 1.0,
+            single: CoreResult | None = None,
+            hierarchy: MemoryHierarchy | None = None) -> MulticoreResult:
         """Model the trace on ``config.num_cores`` cores.
 
         Args:
             trace: the dynamic single-thread trace of the kernel.
             parallel_fraction: fraction of single-core cycles inside
                 parallelizable regions (1.0 for fully ``omp parallel`` loops).
+            single: a precomputed single-core run of ``trace`` under an
+                equivalent core/memory configuration, with ``hierarchy`` the
+                memory hierarchy it warmed (the bandwidth floor reads its
+                miss counts).  ``name``/``num_cores`` do not enter the core
+                timing model, so callers holding a single-core result for
+                the same timing parameters can pass it instead of paying a
+                second detailed run.
         """
         if not 0.0 <= parallel_fraction <= 1.0:
             raise ValueError("parallel fraction must be within [0, 1]")
-        hierarchy = MemoryHierarchy(self.config.memory)
-        core = OutOfOrderCore(self.config, hierarchy)
-        single = core.run(trace)
+        if single is None or hierarchy is None:
+            hierarchy = MemoryHierarchy(self.config.memory)
+            core = OutOfOrderCore(self.config, hierarchy)
+            single = core.run(trace)
 
         n = self.config.num_cores
         serial_cycles = single.cycles * (1.0 - parallel_fraction)

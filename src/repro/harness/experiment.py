@@ -17,7 +17,7 @@ be formed uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..accel import AcceleratorConfig, M_128
@@ -30,7 +30,14 @@ from ..baselines import (
     ScheduleError,
 )
 from ..core import LdfgError, MesaController, MesaOptions, build_ldfg
-from ..cpu import CpuConfig, MulticoreCpu, OutOfOrderCore, collect_trace
+from ..cpu import (
+    CoreResult,
+    CpuConfig,
+    MulticoreCpu,
+    OutOfOrderCore,
+    Trace,
+    collect_trace,
+)
 from ..mem import MemoryHierarchy
 from ..power import AcceleratorEnergyModel, CpuEnergyModel
 from ..workloads import KernelInstance, build_kernel
@@ -63,12 +70,36 @@ class ExperimentRunner:
         self.seed = seed
         self.cpu_config = cpu_config if cpu_config is not None else CpuConfig()
         self._kernel_cache: dict[str, KernelInstance] = {}
+        self._trace_cache: dict[str, Trace] = {}
+        self._core_cache: dict[str, tuple[CoreResult, MemoryHierarchy]] = {}
 
     def kernel(self, name: str) -> KernelInstance:
         if name not in self._kernel_cache:
             self._kernel_cache[name] = build_kernel(
                 name, iterations=self.iterations, seed=self.seed)
         return self._kernel_cache[name]
+
+    def trace(self, name: str) -> Trace:
+        """The kernel's dynamic trace, collected once per runner.
+
+        Trace collection is deterministic — the program and the state built
+        by ``fresh_state()`` are fixed by (name, iterations, seed) — so every
+        system model over the same kernel shares one trace.
+        """
+        if name not in self._trace_cache:
+            kernel = self.kernel(name)
+            self._trace_cache[name] = collect_trace(
+                kernel.program, kernel.fresh_state(), max_steps=4_000_000)
+        return self._trace_cache[name]
+
+    def _core_run(self, name: str) -> tuple[CoreResult, MemoryHierarchy]:
+        """Detailed single-core run of the kernel, computed once per runner."""
+        if name not in self._core_cache:
+            hierarchy = MemoryHierarchy(self.cpu_config.memory)
+            result = OutOfOrderCore(self.cpu_config, hierarchy).run(
+                self.trace(name))
+            self._core_cache[name] = (result, hierarchy)
+        return self._core_cache[name]
 
     # -- MESA ---------------------------------------------------------------
 
@@ -82,8 +113,11 @@ class ExperimentRunner:
         controller = MesaController(config, self.cpu_config, options)
         parallel = (kernel.parallelizable if parallel_override is None
                     else parallel_override)
+        cpu_only, _ = self._core_run(kernel_name)
         result = controller.execute(kernel.program, kernel.state_factory,
-                                    parallelizable=parallel)
+                                    parallelizable=parallel,
+                                    trace=self.trace(kernel_name),
+                                    cpu_only=cpu_only)
         energy, accel_breakdown = self._mesa_energy(result, config)
         return SystemResult(
             kernel=kernel_name,
@@ -121,10 +155,7 @@ class ExperimentRunner:
     # -- CPU baselines -----------------------------------------------------
 
     def single_core(self, kernel_name: str) -> SystemResult:
-        kernel = self.kernel(kernel_name)
-        trace = collect_trace(kernel.program, kernel.fresh_state())
-        hierarchy = MemoryHierarchy(self.cpu_config.memory)
-        result = OutOfOrderCore(self.cpu_config, hierarchy).run(trace)
+        result, hierarchy = self._core_run(kernel_name)
         energy = CpuEnergyModel().energy(result.counters, result.cycles,
                                          hierarchy)
         return SystemResult(
@@ -137,11 +168,18 @@ class ExperimentRunner:
 
     def multicore(self, kernel_name: str, cores: int = 16) -> SystemResult:
         kernel = self.kernel(kernel_name)
-        trace = collect_trace(kernel.program, kernel.fresh_state())
+        trace = self.trace(kernel_name)
         config = CpuConfig(name=f"multicore-{cores}", num_cores=cores)
         parallel_fraction = 1.0 if kernel.parallelizable else 0.0
         model = MulticoreCpu(config)
-        result = model.run(trace, parallel_fraction)
+        # name/num_cores do not enter the single-core timing model, so when
+        # the rest of the config matches the runner's, reuse its cached run.
+        single = hierarchy = None
+        if replace(config, name=self.cpu_config.name,
+                   num_cores=self.cpu_config.num_cores) == self.cpu_config:
+            single, hierarchy = self._core_run(kernel_name)
+        result = model.run(trace, parallel_fraction,
+                           single=single, hierarchy=hierarchy)
         hierarchy = MemoryHierarchy(config.memory)
         # Dynamic energy for the same work + static across active cores.
         energy = CpuEnergyModel().energy(
@@ -228,7 +266,7 @@ class ExperimentRunner:
         raise LdfgError("kernel has no loop")
 
     def _loop_fraction(self, kernel: KernelInstance) -> float:
-        trace = collect_trace(kernel.program, kernel.fresh_state())
+        trace = self.trace(kernel.name)
         body = self._loop_body(kernel, accept_inner=True)
         addresses = {i.address for i in body}
         in_loop = sum(1 for e in trace if e.pc in addresses)

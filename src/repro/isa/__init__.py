@@ -29,6 +29,8 @@ from .semantics import (
     MemoryLike,
     apply_operation,
     branch_taken,
+    compile_branch,
+    compile_operation,
     run,
 )
 
@@ -58,4 +60,6 @@ __all__ = [
     "run",
     "apply_operation",
     "branch_taken",
+    "compile_branch",
+    "compile_operation",
 ]

@@ -43,6 +43,11 @@ class OpClass(Enum):
     JUMP = "jump"
     SYSTEM = "system"
 
+    # Members are singletons, so identity hashing is both correct and much
+    # cheaper than the enum default; OpClass keys several per-instruction
+    # dispatch tables on hot paths.
+    __hash__ = object.__hash__
+
     @property
     def is_memory(self) -> bool:
         return self in (OpClass.LOAD, OpClass.STORE)
@@ -167,6 +172,8 @@ class Opcode(Enum):
     # Pseudo
     NOP = "nop"
 
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:
         return self.value
 
@@ -235,6 +242,13 @@ class Instruction:
         rs2: second register source (store data, branch comparand).
         imm: immediate operand (offset for memory/branch ops), default 0.
         label: optional symbolic branch-target label kept for display.
+
+    Derived facts (``op_class``, ``is_load``, ``sources``, ...) are computed
+    once at construction and stored on the instance: every simulator loop —
+    the functional executor, the CPU scoreboard, and the dataflow engine —
+    reads them per dynamic instruction, so they must be plain attribute
+    loads, not per-call dict lookups.  They are not dataclass fields, so
+    equality, hashing, and ``repr`` still consider only the encoding above.
     """
 
     address: int
@@ -245,63 +259,38 @@ class Instruction:
     imm: int = 0
     label: str | None = None
 
-    @property
-    def op_class(self) -> OpClass:
-        """Functional-unit class of this instruction."""
-        return OPCODE_CLASS[self.opcode]
+    # Derived (non-field) attributes set by __post_init__: op_class, sources,
+    # destination, is_load, is_store, is_memory, is_branch, is_jump,
+    # is_control, is_system, is_fp, requires_rv64.
 
-    @property
-    def sources(self) -> tuple[Register, ...]:
-        """Register sources, excluding the hard-wired zero register."""
-        regs = []
-        for reg in (self.rs1, self.rs2):
-            if reg is not None and not reg.is_zero:
-                regs.append(reg)
-        return tuple(regs)
+    def __post_init__(self) -> None:
+        op_class = OPCODE_CLASS[self.opcode]
+        setattr_ = object.__setattr__
+        setattr_(self, "op_class", op_class)
+        setattr_(self, "is_load", op_class is OpClass.LOAD)
+        setattr_(self, "is_store", op_class is OpClass.STORE)
+        setattr_(self, "is_memory",
+                 op_class is OpClass.LOAD or op_class is OpClass.STORE)
+        setattr_(self, "is_branch", op_class is OpClass.BRANCH)
+        setattr_(self, "is_jump", op_class is OpClass.JUMP)
+        setattr_(self, "is_control",
+                 op_class is OpClass.BRANCH or op_class is OpClass.JUMP)
+        setattr_(self, "is_system", op_class is OpClass.SYSTEM)
+        setattr_(self, "is_fp", op_class.is_fp)
+        setattr_(self, "requires_rv64", self.opcode in RV64_ONLY)
+        setattr_(self, "sources", tuple(
+            reg for reg in (self.rs1, self.rs2)
+            if reg is not None and not reg.is_zero))
+        setattr_(self, "destination",
+                 None if self.rd is not None and self.rd.is_zero else self.rd)
 
-    @property
-    def destination(self) -> Register | None:
-        """Destination register, or ``None`` if none (or it is ``x0``)."""
-        if self.rd is not None and self.rd.is_zero:
-            return None
-        return self.rd
-
-    @property
-    def is_load(self) -> bool:
-        return self.op_class is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.op_class is OpClass.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.op_class.is_memory
-
-    @property
-    def is_branch(self) -> bool:
-        return self.op_class is OpClass.BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        return self.op_class is OpClass.JUMP
-
-    @property
-    def is_control(self) -> bool:
-        return self.op_class.is_control
-
-    @property
-    def is_system(self) -> bool:
-        return self.op_class is OpClass.SYSTEM
-
-    @property
-    def is_fp(self) -> bool:
-        return self.op_class.is_fp
-
-    @property
-    def requires_rv64(self) -> bool:
-        """True for RV64I-only instructions (need a 64-bit datapath)."""
-        return self.opcode in RV64_ONLY
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.address, self.opcode, self.rd, self.rs1,
+                           self.rs2, self.imm, self.label))
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def is_backward_branch(self) -> bool:

@@ -31,6 +31,10 @@ class RegFile(Enum):
     INT = "x"
     FP = "f"
 
+    # Members are singletons; identity hashing keeps register-keyed dicts
+    # (rename tables, scoreboards) off the slower enum hash path.
+    __hash__ = object.__hash__
+
 
 #: ABI names for the 32 integer registers, indexed by register number.
 INT_ABI_NAMES: tuple[str, ...] = (
@@ -67,6 +71,12 @@ class Register:
     def __post_init__(self) -> None:
         if not 0 <= self.index < 32:
             raise ValueError(f"register index out of range: {self.index}")
+
+    def __hash__(self) -> int:
+        # Stable, collision-free over the 64 architectural registers, and
+        # cheaper than the generated field-tuple hash — registers key the
+        # hottest dicts in the CPU and engine models.
+        return self.index + (32 if self.file is RegFile.FP else 0)
 
     @property
     def is_zero(self) -> bool:

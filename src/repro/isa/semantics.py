@@ -30,6 +30,8 @@ __all__ = [
     "run",
     "apply_operation",
     "branch_taken",
+    "compile_operation",
+    "compile_branch",
 ]
 
 _MASK32 = 0xFFFFFFFF
@@ -205,104 +207,19 @@ class Executor:
     # -- per-opcode semantics -------------------------------------------------
 
     def _execute(self, instr: Instruction) -> int | None:
-        """Apply an instruction's effects; return the taken PC if a transfer."""
-        op = instr.opcode
-        st = self.state
-        rint = lambda r: int(st.read(r))  # noqa: E731
-        rflt = lambda r: float(st.read(r))  # noqa: E731
+        """Apply an instruction's effects; return the taken PC if a transfer.
 
-        if op is Opcode.NOP:
-            return None
-        if op in _INT_W_BINOPS:
-            assert instr.rd and instr.rs1 and instr.rs2
-            self._require_rv64(instr)
-            st.write(instr.rd, _INT_W_BINOPS[op](rint(instr.rs1),
-                                                 rint(instr.rs2)))
-            return None
-        if op in _INT_W_IMMOPS:
-            assert instr.rd and instr.rs1
-            self._require_rv64(instr)
-            st.write(instr.rd, _INT_W_IMMOPS[op](rint(instr.rs1), instr.imm))
-            return None
-        if op in _INT_BINOPS:
-            assert instr.rd and instr.rs1 and instr.rs2
-            st.write(instr.rd, _INT_BINOPS[op](rint(instr.rs1),
-                                               rint(instr.rs2), st.xlen))
-            return None
-        if op in _INT_IMMOPS:
-            assert instr.rd and instr.rs1
-            st.write(instr.rd, _INT_IMMOPS[op](rint(instr.rs1), instr.imm,
-                                               st.xlen))
-            return None
-        if op is Opcode.LUI:
-            assert instr.rd
-            st.write(instr.rd, _ts(instr.imm << 12, 32))
-            return None
-        if op is Opcode.AUIPC:
-            assert instr.rd
-            st.write(instr.rd, _ts(instr.address + (instr.imm << 12), st.xlen))
-            return None
-        if instr.is_load:
-            assert instr.rd
-            if instr.requires_rv64:
-                self._require_rv64(instr)
-            addr = self.effective_address(instr)
-            size = _LOAD_SIZES[op]
-            raw = st.memory.load(addr, size)
-            if op is Opcode.FLW:
-                st.write(instr.rd, struct.unpack("<f", raw.to_bytes(4, "little"))[0])
-            elif op in _SIGNED_LOADS:
-                st.write(instr.rd, _sext_bits(raw, size * 8))
-            else:
-                st.write(instr.rd, raw)
-            return None
-        if instr.is_store:
-            assert instr.rs2
-            if instr.requires_rv64:
-                self._require_rv64(instr)
-            addr = self.effective_address(instr)
-            size = _STORE_SIZES[op]
-            if op is Opcode.FSW:
-                raw = int.from_bytes(struct.pack("<f", rflt(instr.rs2)), "little")
-            else:
-                raw = rint(instr.rs2) & ((1 << (size * 8)) - 1)
-            st.memory.store(addr, size, raw)
-            return None
-        if instr.is_branch:
-            assert instr.rs1 and instr.rs2 is not None
-            a, b = rint(instr.rs1), rint(instr.rs2)
-            if _BRANCH_CONDS[op](a, b, st.xlen):
-                return instr.address + instr.imm
-            return None
-        if op is Opcode.JAL:
-            assert instr.rd is not None
-            st.write(instr.rd, instr.address + 4)
-            return instr.address + instr.imm
-        if op is Opcode.JALR:
-            assert instr.rd is not None and instr.rs1 is not None
-            target = (rint(instr.rs1) + instr.imm) & ~1
-            st.write(instr.rd, instr.address + 4)
-            return _tu(target, st.xlen)
-        if op in _FP_BINOPS:
-            assert instr.rd and instr.rs1 and instr.rs2
-            st.write(instr.rd, _FP_BINOPS[op](rflt(instr.rs1), rflt(instr.rs2)))
-            return None
-        if op in _FP_CMPOPS:
-            assert instr.rd and instr.rs1 and instr.rs2
-            st.write(instr.rd, int(_FP_CMPOPS[op](rflt(instr.rs1), rflt(instr.rs2))))
-            return None
-        if op is Opcode.FSQRT_S:
-            assert instr.rd and instr.rs1
-            value = rflt(instr.rs1)
-            st.write(instr.rd, math.sqrt(value) if value >= 0 else float("nan"))
-            return None
-        if op in _FP_UNARY:
-            assert instr.rd and instr.rs1
-            st.write(instr.rd, _FP_UNARY[op](st.read(instr.rs1)))
-            return None
-        if instr.is_system:
-            raise ExecutionError(f"system instruction not executable: {instr}")
-        raise ExecutionError(f"no semantics for {instr}")
+        Dispatch is a single per-opcode table lookup (``_DISPATCH``, built
+        once at import) rather than a chain of set-membership tests — this
+        sits under every functionally executed instruction.
+        """
+        handler = _DISPATCH.get(instr.opcode)
+        if handler is None:
+            if instr.is_system:
+                raise ExecutionError(
+                    f"system instruction not executable: {instr}")
+            raise ExecutionError(f"no semantics for {instr}")
+        return handler(self, instr)
 
     def _require_rv64(self, instr: Instruction) -> None:
         if self.state.xlen != 64:
@@ -410,6 +327,198 @@ _FP_UNARY = {
 }
 
 
+# -- per-opcode dispatch table ------------------------------------------------
+#
+# One handler per opcode, closed over that opcode's semantic function.  The
+# handlers reproduce the per-group bodies of the previous ``_execute``
+# if-chain exactly; only the dispatch mechanism changed.
+
+def _h_nop(ex: "Executor", instr: Instruction) -> None:
+    return None
+
+
+def _make_int_w_binop(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1 and instr.rs2
+        ex._require_rv64(instr)
+        st = ex.state
+        st.write(instr.rd, fn(int(st.read(instr.rs1)), int(st.read(instr.rs2))))
+        return None
+    return handler
+
+
+def _make_int_w_immop(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1
+        ex._require_rv64(instr)
+        st = ex.state
+        st.write(instr.rd, fn(int(st.read(instr.rs1)), instr.imm))
+        return None
+    return handler
+
+
+def _make_int_binop(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1 and instr.rs2
+        st = ex.state
+        st.write(instr.rd, fn(int(st.read(instr.rs1)),
+                              int(st.read(instr.rs2)), st.xlen))
+        return None
+    return handler
+
+
+def _make_int_immop(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1
+        st = ex.state
+        st.write(instr.rd, fn(int(st.read(instr.rs1)), instr.imm, st.xlen))
+        return None
+    return handler
+
+
+def _h_lui(ex: "Executor", instr: Instruction) -> None:
+    assert instr.rd
+    ex.state.write(instr.rd, _ts(instr.imm << 12, 32))
+    return None
+
+
+def _h_auipc(ex: "Executor", instr: Instruction) -> None:
+    assert instr.rd
+    st = ex.state
+    st.write(instr.rd, _ts(instr.address + (instr.imm << 12), st.xlen))
+    return None
+
+
+def _h_load(ex: "Executor", instr: Instruction) -> None:
+    assert instr.rd
+    if instr.requires_rv64:
+        ex._require_rv64(instr)
+    st = ex.state
+    addr = ex.effective_address(instr)
+    op = instr.opcode
+    size = _LOAD_SIZES[op]
+    raw = st.memory.load(addr, size)
+    if op is Opcode.FLW:
+        st.write(instr.rd, struct.unpack("<f", raw.to_bytes(4, "little"))[0])
+    elif op in _SIGNED_LOADS:
+        st.write(instr.rd, _sext_bits(raw, size * 8))
+    else:
+        st.write(instr.rd, raw)
+    return None
+
+
+def _h_store(ex: "Executor", instr: Instruction) -> None:
+    assert instr.rs2
+    if instr.requires_rv64:
+        ex._require_rv64(instr)
+    st = ex.state
+    addr = ex.effective_address(instr)
+    op = instr.opcode
+    size = _STORE_SIZES[op]
+    if op is Opcode.FSW:
+        raw = int.from_bytes(struct.pack("<f", float(st.read(instr.rs2))),
+                             "little")
+    else:
+        raw = int(st.read(instr.rs2)) & ((1 << (size * 8)) - 1)
+    st.memory.store(addr, size, raw)
+    return None
+
+
+def _make_branch(cond):
+    def handler(ex: "Executor", instr: Instruction) -> int | None:
+        assert instr.rs1 and instr.rs2 is not None
+        st = ex.state
+        a, b = int(st.read(instr.rs1)), int(st.read(instr.rs2))
+        if cond(a, b, st.xlen):
+            return instr.address + instr.imm
+        return None
+    return handler
+
+
+def _h_jal(ex: "Executor", instr: Instruction) -> int:
+    assert instr.rd is not None
+    ex.state.write(instr.rd, instr.address + 4)
+    return instr.address + instr.imm
+
+
+def _h_jalr(ex: "Executor", instr: Instruction) -> int:
+    assert instr.rd is not None and instr.rs1 is not None
+    st = ex.state
+    target = (int(st.read(instr.rs1)) + instr.imm) & ~1
+    st.write(instr.rd, instr.address + 4)
+    return _tu(target, st.xlen)
+
+
+def _make_fp_binop(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1 and instr.rs2
+        st = ex.state
+        st.write(instr.rd, fn(float(st.read(instr.rs1)),
+                              float(st.read(instr.rs2))))
+        return None
+    return handler
+
+
+def _make_fp_cmpop(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1 and instr.rs2
+        st = ex.state
+        st.write(instr.rd, int(fn(float(st.read(instr.rs1)),
+                                  float(st.read(instr.rs2)))))
+        return None
+    return handler
+
+
+def _h_fsqrt(ex: "Executor", instr: Instruction) -> None:
+    assert instr.rd and instr.rs1
+    st = ex.state
+    value = float(st.read(instr.rs1))
+    st.write(instr.rd, math.sqrt(value) if value >= 0 else float("nan"))
+    return None
+
+
+def _make_fp_unary(fn):
+    def handler(ex: "Executor", instr: Instruction) -> None:
+        assert instr.rd and instr.rs1
+        st = ex.state
+        st.write(instr.rd, fn(st.read(instr.rs1)))
+        return None
+    return handler
+
+
+def _build_dispatch() -> dict[Opcode, object]:
+    dispatch: dict[Opcode, object] = {Opcode.NOP: _h_nop}
+    for op, fn in _INT_W_BINOPS.items():
+        dispatch[op] = _make_int_w_binop(fn)
+    for op, fn in _INT_W_IMMOPS.items():
+        dispatch[op] = _make_int_w_immop(fn)
+    for op, fn in _INT_BINOPS.items():
+        dispatch[op] = _make_int_binop(fn)
+    for op, fn in _INT_IMMOPS.items():
+        dispatch[op] = _make_int_immop(fn)
+    dispatch[Opcode.LUI] = _h_lui
+    dispatch[Opcode.AUIPC] = _h_auipc
+    for op in _LOAD_SIZES:
+        dispatch[op] = _h_load
+    for op in _STORE_SIZES:
+        dispatch[op] = _h_store
+    for op, cond in _BRANCH_CONDS.items():
+        dispatch[op] = _make_branch(cond)
+    dispatch[Opcode.JAL] = _h_jal
+    dispatch[Opcode.JALR] = _h_jalr
+    for op, fn in _FP_BINOPS.items():
+        dispatch[op] = _make_fp_binop(fn)
+    for op, fn in _FP_CMPOPS.items():
+        dispatch[op] = _make_fp_cmpop(fn)
+    dispatch[Opcode.FSQRT_S] = _h_fsqrt
+    for op, fn in _FP_UNARY.items():
+        dispatch[op] = _make_fp_unary(fn)
+    return dispatch
+
+
+_DISPATCH = _build_dispatch()
+
+
 def apply_operation(instr: Instruction, a: int | float = 0,
                     b: int | float = 0, xlen: int = 32) -> int | float:
     """Evaluate a *compute* instruction as a pure function of its operands.
@@ -461,6 +570,76 @@ def branch_taken(instr: Instruction, a: int | float, b: int | float) -> bool:
         return _BRANCH_CONDS[instr.opcode](int(a), int(b))
     if instr.is_jump:
         return True
+    raise ExecutionError(f"not a branch: {instr}")
+
+
+def compile_operation(instr: Instruction, xlen: int = 32):
+    """Specialize :func:`apply_operation` for one instruction.
+
+    Returns a closure ``(a, b) -> value`` with the opcode dispatch, immediate,
+    and datapath width already resolved — the per-PE semantics an execution
+    plan (:mod:`repro.accel.plan`) bakes in at configuration time.  The
+    closure is bit-identical to ``apply_operation(instr, a, b, xlen)`` for
+    every input.
+
+    Raises:
+        ExecutionError: for non-compute instructions.
+    """
+    op = instr.opcode
+    imm = instr.imm
+    if op is Opcode.NOP:
+        return lambda a, b: 0
+    if op in _INT_W_BINOPS:
+        fn = _INT_W_BINOPS[op]
+        return lambda a, b: fn(int(a), int(b))
+    if op in _INT_W_IMMOPS:
+        fn = _INT_W_IMMOPS[op]
+        return lambda a, b: fn(int(a), imm)
+    if op in _INT_BINOPS:
+        fn = _INT_BINOPS[op]
+        return lambda a, b: _ts(fn(int(a), int(b), xlen), xlen)
+    if op in _INT_IMMOPS:
+        fn = _INT_IMMOPS[op]
+        return lambda a, b: _ts(fn(int(a), imm, xlen), xlen)
+    if op is Opcode.LUI:
+        constant = _ts(imm << 12, 32)
+        return lambda a, b: constant
+    if op is Opcode.AUIPC:
+        constant = _ts(instr.address + (imm << 12), xlen)
+        return lambda a, b: constant
+    if op in _FP_BINOPS:
+        fn = _FP_BINOPS[op]
+        return lambda a, b: _f32(fn(float(a), float(b)))
+    if op in _FP_CMPOPS:
+        fn = _FP_CMPOPS[op]
+        return lambda a, b: int(fn(float(a), float(b)))
+    if op is Opcode.FSQRT_S:
+        def fsqrt(a, b):
+            value = float(a)
+            return _f32(math.sqrt(value)) if value >= 0 else float("nan")
+        return fsqrt
+    if op in _FP_UNARY:
+        fn = _FP_UNARY[op]
+        def fp_unary(a, b):
+            result = fn(a)
+            return _f32(result) if isinstance(result, float) else _ts(result, 32)
+        return fp_unary
+    raise ExecutionError(f"not a pure compute operation: {instr}")
+
+
+def compile_branch(instr: Instruction):
+    """Specialize :func:`branch_taken` for one instruction.
+
+    Returns a closure ``(a, b) -> bool``; jumps compile to a constant taken.
+
+    Raises:
+        ExecutionError: for non-control instructions.
+    """
+    cond = _BRANCH_CONDS.get(instr.opcode)
+    if cond is not None:
+        return lambda a, b: cond(int(a), int(b))
+    if instr.is_jump:
+        return lambda a, b: True
     raise ExecutionError(f"not a branch: {instr}")
 
 

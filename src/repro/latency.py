@@ -52,6 +52,14 @@ class LatencyTable:
         OpClass.JUMP: "jump",
     }
 
+    def __post_init__(self) -> None:
+        # Materialize the class -> cycles map once; ``for_class`` sits on the
+        # per-dynamic-instruction path of every timing model.
+        object.__setattr__(self, "_by_class_value", {
+            op_class: getattr(self, name)
+            for op_class, name in self._BY_CLASS.items()
+        })
+
     def for_class(self, op_class: OpClass) -> int:
         """Latency of a non-memory operation class.
 
@@ -59,10 +67,10 @@ class LatencyTable:
             KeyError: for memory/system classes, whose latency is not a
                 constant (memory uses AMAT; system ops are not executable).
         """
-        name = self._BY_CLASS.get(op_class)
-        if name is None:
+        cycles = self._by_class_value.get(op_class)
+        if cycles is None:
             raise KeyError(f"{op_class} has no constant latency")
-        return getattr(self, name)
+        return cycles
 
     def for_instruction(self, instr: Instruction) -> int:
         """Latency of a non-memory instruction."""
