@@ -8,6 +8,7 @@ and writes them to ``benchmarks/results/`` for inspection.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -15,6 +16,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Iteration count used by the experiment drivers.  Large enough for the
 #: configuration cost to amortize, small enough for a quick benchmark run.
 ITERATIONS = 384
+
+#: Shard workers for the experiment drivers.  Default 1 (serial) so every
+#: benchmark stays reproducible on any box; export REPRO_BENCH_WORKERS to
+#: fan the sweeps out over a process pool (output is identical either way).
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def emit(name: str, text: str) -> None:

@@ -15,11 +15,12 @@ the smaller configuration").
 
 from repro.harness import fig11_rodinia
 
-from _common import ITERATIONS, emit, run_once
+from _common import ITERATIONS, WORKERS, emit, run_once
 
 
 def test_fig11_speedup_and_efficiency(benchmark):
-    result = run_once(benchmark, lambda: fig11_rodinia(iterations=ITERATIONS))
+    result = run_once(benchmark, lambda: fig11_rodinia(iterations=ITERATIONS,
+                                                       workers=WORKERS))
     emit("fig11_rodinia", result.render())
 
     rows = {r["kernel"]: r for r in result.rows}

@@ -10,11 +10,12 @@ import pytest
 
 from repro.harness import fig15_pe_scaling
 
-from _common import emit, run_once
+from _common import WORKERS, emit, run_once
 
 
 def test_fig15_pe_scaling(benchmark):
-    result = run_once(benchmark, fig15_pe_scaling)
+    result = run_once(benchmark,
+                      lambda: fig15_pe_scaling(workers=WORKERS))
     emit("fig15_pe_scaling", result.render())
 
     by_pes = dict(zip(result.pe_counts, result.default_speedup))

@@ -1,0 +1,75 @@
+"""Harness throughput: serial vs process-parallel sweep execution.
+
+The simulator itself is single-threaded Python, so the harness's only
+route to multi-core throughput is sharding: every ``(kernel, config)``
+point of a sweep is an independent process-pool work unit
+(:mod:`repro.harness.parallel`).  This benchmark times one 15-kernel
+sweep twice — ``workers=1`` (the historical serial path) and
+``workers=min(4, cpu_count)`` — asserts the two produce byte-identical
+tables, and records both wall clocks under ``benchmarks/results/``.
+
+The ≥2x speedup expectation only holds with real parallelism available,
+so it is asserted when the host has at least 4 cores; on smaller boxes
+(including 1-core CI runners, where the pool's pickling overhead makes
+the parallel run *slower*) the numbers are still recorded for the
+report, and the bit-identity assertion — the property that cannot
+degrade gracefully — always runs.
+"""
+
+import os
+import time
+
+from repro.accel import M_128, M_64
+from repro.harness import sweep_backends
+
+from _common import WORKERS, emit, run_once
+
+#: 15 Rodinia kernels (every kernel the harness ships minus the four
+#: slowest outliers, keeping one benchmark run under a few minutes).
+SWEEP_KERNELS = [
+    "backprop", "bfs", "btree", "cfd", "gaussian", "hotspot", "hotspot3d",
+    "kmeans", "lud", "myocyte", "nn", "nw", "pathfinder", "srad",
+    "streamcluster",
+]
+SWEEP_ITERATIONS = 192
+
+
+def test_parallel_sweep_matches_serial(benchmark):
+    cores = os.cpu_count() or 1
+    # At least 2 so the pooled path is what gets measured, even on one core.
+    workers = max(WORKERS, 2, min(4, cores))
+
+    start = time.perf_counter()
+    serial = sweep_backends(SWEEP_KERNELS, [M_64, M_128],
+                            iterations=SWEEP_ITERATIONS, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_once(
+        benchmark,
+        lambda: sweep_backends(SWEEP_KERNELS, [M_64, M_128],
+                               iterations=SWEEP_ITERATIONS, workers=workers))
+    parallel_seconds = time.perf_counter() - start
+
+    serial_table = serial.render("speedup")
+    parallel_table = parallel.render("speedup")
+    assert parallel_table == serial_table, (
+        "sharded sweep must merge to a byte-identical table")
+    assert not parallel.degraded_points()
+
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+    lines = [
+        f"parallel sweep: {len(SWEEP_KERNELS)} kernels x 2 configs, "
+        f"{SWEEP_ITERATIONS} iterations",
+        f"  host cores:        {cores}",
+        f"  serial   (workers=1):         {serial_seconds:8.2f} s",
+        f"  parallel (workers={workers}):         {parallel_seconds:8.2f} s",
+        f"  wall-clock speedup:           {speedup:8.2f}x",
+        f"  tables byte-identical:        True",
+    ]
+    emit("parallel_sweep", "\n".join(lines) + "\n\n" + parallel_table)
+
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"expected >=2x sweep speedup on {cores} cores, got "
+            f"{speedup:.2f}x")

@@ -19,6 +19,8 @@ from typing import Sequence
 from .accel import mesa_config
 from .core import MesaController
 from .harness import (
+    Shard,
+    ShardRunner,
     fig11_rodinia,
     fig12_opencgra,
     fig13_breakdown,
@@ -34,11 +36,14 @@ from .workloads import build_kernel, kernel_names
 __all__ = ["main", "build_parser"]
 
 _FIG_DRIVERS = {
-    "11": lambda args: fig11_rodinia(iterations=args.iterations),
+    "11": lambda args: fig11_rodinia(iterations=args.iterations,
+                                     workers=args.workers,
+                                     shard_timeout=args.shard_timeout),
     "12": lambda args: fig12_opencgra(iterations=args.iterations),
     "13": lambda args: fig13_breakdown(iterations=args.iterations),
     "14": lambda args: fig14_dynaspam(iterations=args.iterations),
-    "15": lambda args: fig15_pe_scaling(),
+    "15": lambda args: fig15_pe_scaling(workers=args.workers,
+                                        shard_timeout=args.shard_timeout),
     "16": lambda args: fig16_amortization(),
 }
 
@@ -56,8 +61,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_cmd = sub.add_parser("run", help="run one kernel through MESA")
-    run_cmd.add_argument("kernel", choices=kernel_names())
+    run_cmd = sub.add_parser("run", help="run one or more kernels through "
+                                         "MESA")
+    run_cmd.add_argument("kernel", nargs="+", choices=kernel_names())
     run_cmd.add_argument("--config", default="M-128",
                          help="backend: M-64 / M-128 / M-512")
     run_cmd.add_argument("--iterations", type=int, default=256)
@@ -73,10 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("--profile-top", type=int, default=10,
                          metavar="N",
                          help="rows of cProfile output per phase (default 10)")
+    _add_shard_flags(run_cmd)
 
     fig_cmd = sub.add_parser("fig", help="regenerate one figure")
     fig_cmd.add_argument("number", choices=sorted(_FIG_DRIVERS))
     fig_cmd.add_argument("--iterations", type=int, default=256)
+    _add_shard_flags(fig_cmd)
 
     table_cmd = sub.add_parser("table", help="regenerate one table")
     table_cmd.add_argument("number", choices=sorted(_TABLE_DRIVERS))
@@ -87,8 +95,71 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_shard_flags(cmd) -> None:
+    cmd.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="shard the work over N worker processes "
+                          "(default 1: serial, byte-identical output)")
+    cmd.add_argument("--shard-timeout", type=float, default=None,
+                     metavar="S",
+                     help="wall-clock seconds per shard before it degrades "
+                          "to a failed row (workers > 1 only)")
+
+
+def _run_kernel_worker(payload: tuple) -> dict:
+    """One kernel's summary row for multi-kernel runs (picklable)."""
+    name, config_name, iterations, serial = payload
+    kernel = build_kernel(name, iterations=iterations)
+    controller = MesaController(mesa_config(config_name))
+    parallel = False if serial else kernel.parallelizable
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=parallel)
+    verified = ""
+    if result.accelerated and kernel.verify is not None:
+        verified = ("ok" if kernel.verify(result.final_state)
+                    else "WRONG RESULT")
+    return {
+        "kernel": name,
+        "accelerated": result.accelerated,
+        "cycles": result.total_cycles,
+        "speedup": result.speedup_vs_single_core,
+        "reason": result.reason,
+        "verified": verified,
+    }
+
+
+def _cmd_run_many(args) -> str:
+    """Run several kernels as shards (``repro run nn kmeans --workers 2``)."""
+    from .harness import render_table
+
+    shards = [Shard(key=(name,),
+                    payload=(name, args.config, args.iterations, args.serial))
+              for name in args.kernel]
+    runner = ShardRunner(workers=args.workers,
+                         shard_timeout=args.shard_timeout)
+    rows = []
+    degraded = []
+    for outcome in runner.map(_run_kernel_worker, shards):
+        if outcome.failed:
+            degraded.append(f"  {outcome.key[0]}: {outcome.error}")
+            rows.append([outcome.key[0], "—", "—", "—", "shard failed"])
+            continue
+        row = outcome.value
+        rows.append([row["kernel"],
+                     "yes" if row["accelerated"] else "no",
+                     f"{row['cycles']:.0f}",
+                     f"{row['speedup']:.2f}x",
+                     row["verified"] or row["reason"]])
+    text = render_table(
+        ["kernel", "accelerated", "cycles", "speedup", "notes"], rows,
+        title=f"repro run: {args.config}, {args.iterations} iterations, "
+              f"workers={args.workers}")
+    if degraded:
+        text += "\ndegraded shards:\n" + "\n".join(degraded)
+    return text
+
+
 def _cmd_run(args) -> str:
-    kernel = build_kernel(args.kernel, iterations=args.iterations)
+    kernel = build_kernel(args.kernel[0], iterations=args.iterations)
     controller = MesaController(mesa_config(args.config))
     controller.profile_phases = args.profile
     parallel = False if args.serial else kernel.parallelizable
@@ -175,9 +246,15 @@ def _cmd_list() -> str:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "run":
-        print(_cmd_run(args))
+        if len(args.kernel) > 1:
+            if args.profile or args.repeat > 1:
+                parser.error("--profile/--repeat apply to a single kernel")
+            print(_cmd_run_many(args))
+        else:
+            print(_cmd_run(args))
     elif args.command == "fig":
         print(_FIG_DRIVERS[args.number](args).render())
     elif args.command == "table":

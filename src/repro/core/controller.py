@@ -32,6 +32,7 @@ import cProfile
 import hashlib
 import math
 import struct
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -250,10 +251,26 @@ class MesaController:
         self.interconnect = build_interconnect(config)
         self.config_cache = ConfigCache()
         #: Enable per-phase cProfile capture (``repro run --profile``).
+        #: Profiling is a single-threaded diagnostic: cProfile registers a
+        #: global trace hook, so leave this off when several threads drive
+        #: one controller (``MesaSystem.run_threads``).
         self.profile_phases = False
         #: Accumulated cProfile data per phase, when enabled.
         self.phase_profiles: dict[str, cProfile.Profile] = {}
-        self._phase_seconds: dict[str, float] = {}
+        #: Per-thread phase-timing accumulator.  One controller serves the
+        #: whole chip, so concurrent ``execute`` calls (each confined to its
+        #: own thread) must not interleave writes into a shared dict — the
+        #: thread-local keeps every execute's ``phase_seconds`` complete and
+        #: disjoint.
+        self._phase_state = threading.local()
+
+    def _phase_seconds_for_thread(self) -> dict[str, float]:
+        """The calling thread's phase accumulator (created on first use)."""
+        seconds = getattr(self._phase_state, "seconds", None)
+        if seconds is None:
+            seconds = {}
+            self._phase_state.seconds = seconds
+        return seconds
 
     @contextmanager
     def _phase(self, name: str) -> Iterator[None]:
@@ -261,7 +278,8 @@ class MesaController:
 
         Phases are flat (never nested) so a single cProfile.Profile per
         phase can be enabled/disabled around the section; wall seconds
-        always accumulate into the current execute's ``phase_seconds``.
+        always accumulate into the calling thread's current execute's
+        ``phase_seconds``.
         """
         profiler = None
         if self.profile_phases:
@@ -274,8 +292,8 @@ class MesaController:
             elapsed = time.perf_counter() - start
             if profiler is not None:
                 profiler.disable()
-            self._phase_seconds[name] = (
-                self._phase_seconds.get(name, 0.0) + elapsed)
+            seconds = self._phase_seconds_for_thread()
+            seconds[name] = seconds.get(name, 0.0) + elapsed
 
     # -- top level ------------------------------------------------------------
 
@@ -304,12 +322,12 @@ class MesaController:
                 shareable across calls with the same ``cpu_config``.
         """
         tally = {"hits": 0, "misses": 0, "evictions": 0, "insertions": 0}
-        self._phase_seconds = {}
+        self._phase_state.seconds = {}
         result = self._run(program, state_factory, parallelizable, max_steps,
                            tally, trace, cpu_only)
         result.cache_stats = CacheStats(**tally)
         result.config_cache_hit = tally["hits"] > 0
-        result.phase_seconds = dict(self._phase_seconds)
+        result.phase_seconds = dict(self._phase_seconds_for_thread())
         return result
 
     def _run(self, program: Program,

@@ -34,6 +34,7 @@ from .configure import build_program
 from .ldfg import Ldfg
 from .mapping import InstructionMapper, MappingOptions
 from .sdfg import Sdfg
+from ..accel.program import AcceleratorProgram, Operand, OperandKind
 
 __all__ = ["OptimizationRound", "IterativeOptimizer"]
 
@@ -88,9 +89,10 @@ class IterativeOptimizer:
         self.history = []
         best = sdfg
         for round_index in range(rounds):
-            measured = self._profile(best, state_factory, hierarchy,
+            program = build_program(best)
+            measured = self._profile(program, state_factory, hierarchy,
                                      profile_iterations)
-            self._refine_weights(ldfg, hierarchy, measured)
+            self._refine_weights(ldfg, hierarchy, measured, program)
             mapper = InstructionMapper(self.config, self.interconnect,
                                        self.mapping_options)
             candidate = mapper.map(ldfg)
@@ -111,18 +113,25 @@ class IterativeOptimizer:
             best = candidate
         return best
 
-    def _profile(self, sdfg: Sdfg, state_factory, hierarchy: MemoryHierarchy,
-                 iterations: int):
+    def _profile(self, program: AcceleratorProgram, state_factory,
+                 hierarchy: MemoryHierarchy, iterations: int):
         """Execute a measurement window on the current configuration."""
-        program = build_program(sdfg)
         engine = DataflowEngine(program, hierarchy=hierarchy,
                                 interconnect=self.interconnect)
         state: MachineState = state_factory()
         return engine.run(state, ExecutionOptions(max_iterations=iterations))
 
     def _refine_weights(self, ldfg: Ldfg, hierarchy: MemoryHierarchy,
-                        run) -> None:
-        """Fold measured latencies back into the LDFG's node weights."""
+                        run, program: AcceleratorProgram | None = None) -> None:
+        """Fold measured latencies back into the LDFG's node weights.
+
+        Memory nodes take their measured per-PC AMAT from the hierarchy —
+        the weight the first mapping could only guess.  Every other node
+        takes the engine's per-node latency counters: its measured
+        completion offset minus the latest measured operand arrival is the
+        node's observed operation latency (port waits and replays included),
+        which corrects any mispredicted static latency before the remap.
+        """
         for entry in ldfg.entries:
             if entry.eliminated:
                 continue
@@ -130,3 +139,37 @@ class IterativeOptimizer:
                 amat = hierarchy.amat(entry.instruction.address)
                 if amat > 0:
                     entry.op_latency = amat
+        if program is None:
+            return
+        # Engine node ids are the densely renumbered non-eliminated LDFG
+        # entries (build_program), in entry order.
+        entry_by_engine_id: dict[int, object] = {}
+        for ldfg_entry in ldfg.entries:
+            if not ldfg_entry.eliminated:
+                entry_by_engine_id[len(entry_by_engine_id)] = ldfg_entry
+        counters = run.latency
+        for node in program.nodes:
+            entry = entry_by_engine_id.get(node.node_id)
+            if entry is None or entry.instruction.is_memory:
+                continue
+            completion = counters.node_latency(node.node_id)
+            if completion <= 0:
+                continue
+            arrival = max(self._operand_arrival(op, node.node_id, counters)
+                          for op in (node.src1, node.src2))
+            measured = completion - arrival
+            if measured > 0:
+                entry.op_latency = measured
+
+    @staticmethod
+    def _operand_arrival(operand: Operand, node_id: int, counters) -> float:
+        """Measured mean arrival offset of one operand (iteration-relative)."""
+        if operand.kind is OperandKind.NODE:
+            return (counters.node_latency(operand.node_id)
+                    + counters.edge_latency(operand.node_id, node_id))
+        if operand.kind is OperandKind.LOOP_CARRIED:
+            # The producer finished last iteration; only the transfer past
+            # the barrier is exposed.
+            return counters.edge_latency(operand.node_id, node_id)
+        # Live-in register or constant: latched at the PE, available at start.
+        return 0.0

@@ -29,6 +29,7 @@ from .figures import (
     fig15_pe_scaling,
     fig16_amortization,
 )
+from .parallel import Shard, ShardOutcome, ShardRunner, run_sharded
 from .report import (
     format_cache_stats,
     format_value,
@@ -64,6 +65,10 @@ __all__ = [
     "geomean",
     "render_series",
     "render_table",
+    "Shard",
+    "ShardOutcome",
+    "ShardRunner",
+    "run_sharded",
     "SweepPoint",
     "SweepResult",
     "pe_count_configs",

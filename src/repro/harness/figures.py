@@ -18,6 +18,7 @@ from ..mem import MemoryPorts
 from ..power import AcceleratorEnergyModel
 from ..workloads import FIG11_SET, FIG12_SET, FIG14_SET, build_kernel
 from .experiment import ExperimentRunner, SystemResult
+from .parallel import Shard, ShardRunner
 from .report import geomean, render_table
 
 __all__ = ["Fig11Result", "fig11_rodinia", "Fig12Result", "fig12_opencgra",
@@ -33,6 +34,8 @@ class Fig11Result:
     """Speedup and energy efficiency vs the 16-core multicore baseline."""
 
     rows: list[dict] = field(default_factory=list)
+    #: Kernels whose shard failed (kernel name → error), when sharded.
+    degraded: dict[str, str] = field(default_factory=dict)
 
     @property
     def mean_speedup(self) -> dict[str, float]:
@@ -53,29 +56,56 @@ class Fig11Result:
         body.append(["geomean",
                      self.mean_speedup["m128"], self.mean_speedup["m512"],
                      self.mean_efficiency["m128"], self.mean_efficiency["m512"]])
-        return render_table(headers, body,
+        text = render_table(headers, body,
                             title="Fig. 11: MESA vs 16-core CPU (Rodinia)")
+        if self.degraded:
+            lines = [f"degraded shards ({len(self.degraded)}):"]
+            lines += [f"  {name}: {error}"
+                      for name, error in self.degraded.items()]
+            text += "\n" + "\n".join(lines)
+        return text
+
+
+def _fig11_row_worker(payload: tuple) -> dict:
+    """One kernel's Fig. 11 row (module-level: picklable for the pool)."""
+    name, iterations, cores = payload
+    runner = ExperimentRunner(iterations=iterations)
+    baseline = runner.multicore(name, cores=cores)
+    m128 = runner.mesa(name, M_128)
+    m512 = runner.mesa(name, M_512)
+    return {
+        "kernel": name,
+        "speedup_m128": baseline.cycles / m128.cycles,
+        "speedup_m512": baseline.cycles / m512.cycles,
+        "efficiency_m128": baseline.energy_pj / max(1e-9, m128.energy_pj),
+        "efficiency_m512": baseline.energy_pj / max(1e-9, m512.energy_pj),
+        "accelerated_m128": m128.accelerated,
+        "accelerated_m512": m512.accelerated,
+    }
 
 
 def fig11_rodinia(iterations: int = 256,
                   kernels: tuple[str, ...] = FIG11_SET,
-                  cores: int = 16) -> Fig11Result:
-    """Fig. 11: M-128/M-512 performance and energy efficiency vs multicore."""
-    runner = ExperimentRunner(iterations=iterations)
+                  cores: int = 16,
+                  workers: int = 1,
+                  shard_timeout: float | None = None) -> Fig11Result:
+    """Fig. 11: M-128/M-512 performance and energy efficiency vs multicore.
+
+    One shard per kernel; the per-kernel ``ExperimentRunner`` already shares
+    the trace and baseline core run across the three systems of a row, so
+    sharding by kernel loses no caching.  Rows merge in kernel order —
+    identical output for any ``workers``.  A failed shard is dropped from
+    the rows and reported in ``degraded`` (and the rendered footer).
+    """
+    shards = [Shard(key=(name,), payload=(name, iterations, cores))
+              for name in kernels]
+    runner = ShardRunner(workers=workers, shard_timeout=shard_timeout)
     result = Fig11Result()
-    for name in kernels:
-        baseline = runner.multicore(name, cores=cores)
-        m128 = runner.mesa(name, M_128)
-        m512 = runner.mesa(name, M_512)
-        result.rows.append({
-            "kernel": name,
-            "speedup_m128": baseline.cycles / m128.cycles,
-            "speedup_m512": baseline.cycles / m512.cycles,
-            "efficiency_m128": baseline.energy_pj / max(1e-9, m128.energy_pj),
-            "efficiency_m512": baseline.energy_pj / max(1e-9, m512.energy_pj),
-            "accelerated_m128": m128.accelerated,
-            "accelerated_m512": m512.accelerated,
-        })
+    for outcome in runner.map(_fig11_row_worker, shards):
+        if outcome.failed:
+            result.degraded[outcome.key[0]] = outcome.error
+        else:
+            result.rows.append(outcome.value)
     return result
 
 
@@ -264,35 +294,63 @@ class Fig15Result:
     default_speedup: list[float] = field(default_factory=list)
     ideal_memory_speedup: list[float] = field(default_factory=list)
     ideal_scaling: list[float] = field(default_factory=list)
+    #: PE counts whose shard failed (count → error), when sharded.
+    degraded: dict[int, str] = field(default_factory=dict)
 
     def render(self) -> str:
         rows = list(zip(self.pe_counts, self.default_speedup,
                         self.ideal_memory_speedup, self.ideal_scaling))
-        return render_table(
+        text = render_table(
             ["PEs", "MESA", "ideal memory", "ideal scaling"], rows,
             title="Fig. 15: nn kernel scaling with PE count "
                   "(speedup vs 16 PEs)")
+        if self.degraded:
+            lines = [f"degraded shards ({len(self.degraded)}):"]
+            lines += [f"  {pes} PEs: {error}"
+                      for pes, error in self.degraded.items()]
+            text += "\n" + "\n".join(lines)
+        return text
+
+
+def _fig15_point_worker(payload: tuple) -> tuple[float, float]:
+    """Default and ideal-memory cycles at one PE count (picklable)."""
+    pes, iterations = payload
+    rows = max(2, pes // 8)
+    # The memory system (entries + 16 ports) is held constant across
+    # the sweep: saturation must come from the sweep, not the preset.
+    config = AcceleratorConfig(
+        name=f"M-{pes}", rows=rows, cols=min(8, pes // rows),
+        lsu_entries=256, memory_ports=16)
+    return (_nn_accel_cycles(config, iterations, ideal=False),
+            _nn_accel_cycles(config, iterations, ideal=True))
 
 
 def fig15_pe_scaling(iterations: int = 2048,
                      pe_counts: tuple[int, ...] = (16, 32, 64, 128, 256, 512),
-                     ) -> Fig15Result:
+                     workers: int = 1,
+                     shard_timeout: float | None = None) -> Fig15Result:
     """Fig. 15: nn performance scaling with PE count, with a fixed memory
-    system (8 ports) — plus the ideal-memory and ideal-scaling curves."""
-    result = Fig15Result(pe_counts=list(pe_counts))
+    system (8 ports) — plus the ideal-memory and ideal-scaling curves.
+
+    One shard per PE count; speedups normalize against the first
+    *successful* point, merged in PE order.  A failed shard drops its
+    series point and is reported in ``degraded``.
+    """
+    shards = [Shard(key=(pes,), payload=(pes, iterations))
+              for pes in pe_counts]
+    runner = ShardRunner(workers=workers, shard_timeout=shard_timeout)
+    result = Fig15Result()
     base_cycles: float | None = None
     base_ideal: float | None = None
-    for pes in pe_counts:
-        rows = max(2, pes // 8)
-        # The memory system (entries + 16 ports) is held constant across
-        # the sweep: saturation must come from the sweep, not the preset.
-        config = AcceleratorConfig(
-            name=f"M-{pes}", rows=rows, cols=min(8, pes // rows),
-            lsu_entries=256, memory_ports=16)
-        default_cycles = _nn_accel_cycles(config, iterations, ideal=False)
-        ideal_cycles = _nn_accel_cycles(config, iterations, ideal=True)
+    for pes, outcome in zip(pe_counts,
+                            runner.map(_fig15_point_worker, shards)):
+        if outcome.failed:
+            result.degraded[pes] = outcome.error
+            continue
+        default_cycles, ideal_cycles = outcome.value
         if base_cycles is None:
             base_cycles, base_ideal = default_cycles, ideal_cycles
+        result.pe_counts.append(pes)
         result.default_speedup.append(base_cycles / default_cycles)
         result.ideal_memory_speedup.append(base_ideal / ideal_cycles)
         result.ideal_scaling.append(pes / pe_counts[0])

@@ -1,0 +1,247 @@
+"""Process-parallel shard runner for sweeps and experiments.
+
+The paper's evaluation is an embarrassingly parallel grid — kernels ×
+backend configs × PE-scaling points — but a single Python process caps the
+harness's throughput no matter how fast the simulator's hot loop gets.
+This module decomposes a sweep into independent *shards* (one picklable
+work unit each, e.g. one ``(kernel, config)`` point), executes them on a
+``concurrent.futures.ProcessPoolExecutor``, and merges the results
+**deterministically**: outcomes are returned in shard-submission order, not
+completion order, so any table or JSON built from them is byte-identical to
+a serial run.
+
+Each shard gets robustness semantics that transfer to any serving stack:
+
+* **per-shard wall-clock timeout** (``shard_timeout``) — a wedged shard is
+  abandoned and its worker process killed;
+* **one bounded retry** (``retries``, default 1) on a crash, timeout, or
+  worker exception;
+* **graceful degradation** — a shard that exhausts its retries becomes a
+  failed :class:`ShardOutcome` carrying the error string, and the caller
+  renders it as a degraded row instead of aborting the whole sweep.
+
+``workers=1`` runs every shard inline in the calling process — no pool, no
+pickling — preserving the exact pre-existing serial behaviour (and letting
+worker-side caches, like the per-config controller reuse in
+:mod:`repro.harness.sweep`, live in the caller's process).
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+__all__ = ["Shard", "ShardOutcome", "ShardRunner", "run_sharded"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independent unit of work.
+
+    ``key`` identifies and orders the shard (e.g. ``(config, kernel)``);
+    ``payload`` is the picklable argument handed to the worker function.
+    """
+
+    key: tuple
+    payload: Any
+
+
+@dataclass
+class ShardOutcome:
+    """What happened to one shard."""
+
+    key: tuple
+    value: Any = None
+    error: str | None = None
+    #: Worker invocations consumed (1 = first try succeeded).
+    attempts: int = 1
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
+
+
+class ShardRunner:
+    """Executes shards on a process pool with timeout/retry/degrade.
+
+    Args:
+        workers: pool size; ``1`` (the default) runs shards inline in the
+            calling process, byte-identical to the historical serial path.
+        shard_timeout: wall-clock seconds allowed per shard before it is
+            abandoned (None = unbounded).  Only enforceable with
+            ``workers > 1`` — an in-process shard cannot be interrupted.
+        retries: extra attempts granted after a crash/timeout/exception.
+    """
+
+    def __init__(self, workers: int = 1, shard_timeout: float | None = None,
+                 retries: int = 1) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.workers = workers
+        self.shard_timeout = shard_timeout
+        self.retries = retries
+
+    # -- public API ---------------------------------------------------------
+
+    def map(self, worker: Callable[[Any], Any],
+            shards: Sequence[Shard]) -> list[ShardOutcome]:
+        """Run ``worker(shard.payload)`` for every shard.
+
+        Returns one :class:`ShardOutcome` per shard **in input order**,
+        regardless of completion order or worker count.  ``worker`` must be
+        a module-level (picklable) callable when ``workers > 1``.
+        """
+        if self.workers == 1 or len(shards) <= 1:
+            return [self._run_inline(worker, shard) for shard in shards]
+        return self._run_pooled(worker, list(shards))
+
+    # -- serial path --------------------------------------------------------
+
+    def _run_inline(self, worker, shard: Shard) -> ShardOutcome:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return ShardOutcome(key=shard.key,
+                                    value=worker(shard.payload),
+                                    attempts=attempts)
+            except Exception as exc:
+                if attempts > self.retries:
+                    return ShardOutcome(
+                        key=shard.key, attempts=attempts,
+                        error=_describe(exc))
+
+    # -- pooled path --------------------------------------------------------
+
+    def _run_pooled(self, worker, shards: list[Shard]) -> list[ShardOutcome]:
+        outcomes: dict[int, ShardOutcome] = {}
+        attempts = [0] * len(shards)
+        pending = list(range(len(shards)))
+        while pending:
+            pending = self._pool_round(worker, shards, pending, attempts,
+                                       outcomes)
+        return [outcomes[i] for i in range(len(shards))]
+
+    def _pool_round(self, worker, shards, pending: list[int],
+                    attempts: list[int],
+                    outcomes: dict[int, ShardOutcome]) -> list[int]:
+        """One pool generation: submit every pending shard, harvest in
+        order.  A timeout or a crashed worker poisons the pool, so the
+        round ends there — finished futures are still harvested, unfinished
+        shards are requeued (their attempt is refunded: they were not at
+        fault), and the next round starts a fresh pool."""
+        requeue: list[int] = []
+        executor = ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)))
+        torn_down = False
+        try:
+            futures = {}
+            for index in pending:
+                attempts[index] += 1
+                futures[index] = executor.submit(worker,
+                                                 shards[index].payload)
+            for position, index in enumerate(pending):
+                try:
+                    value = futures[index].result(timeout=self.shard_timeout)
+                except (TimeoutError, _FuturesTimeout):
+                    # (distinct classes before Python 3.11, an alias after)
+                    self._settle(index, shards, attempts, outcomes, requeue,
+                                 f"timed out after {self.shard_timeout:g}s")
+                    remainder = pending[position + 1:]
+                    self._drain(remainder, shards, futures, attempts,
+                                outcomes, requeue)
+                    self._kill(executor)
+                    torn_down = True
+                    break
+                except BrokenProcessPool:
+                    self._settle(index, shards, attempts, outcomes, requeue,
+                                 "worker process crashed")
+                    remainder = pending[position + 1:]
+                    self._drain(remainder, shards, futures, attempts,
+                                outcomes, requeue)
+                    self._kill(executor)
+                    torn_down = True
+                    break
+                except Exception as exc:
+                    # The worker raised: the pool is still healthy.
+                    self._settle(index, shards, attempts, outcomes, requeue,
+                                 _describe(exc))
+                else:
+                    outcomes[index] = ShardOutcome(
+                        key=shards[index].key, value=value,
+                        attempts=attempts[index])
+        finally:
+            if not torn_down:
+                executor.shutdown(wait=True)
+        return requeue
+
+    def _settle(self, index: int, shards, attempts: list[int],
+                outcomes: dict[int, ShardOutcome], requeue: list[int],
+                error: str) -> None:
+        """Retry the failed shard if it has budget left, else degrade it."""
+        if attempts[index] <= self.retries:
+            requeue.append(index)
+        else:
+            outcomes[index] = ShardOutcome(
+                key=shards[index].key, attempts=attempts[index], error=error)
+
+    def _drain(self, remainder: list[int], shards, futures,
+               attempts: list[int], outcomes: dict[int, ShardOutcome],
+               requeue: list[int]) -> None:
+        """Harvest already-finished futures after a pool failure; requeue
+        the rest without charging them an attempt."""
+        for index in remainder:
+            future = futures[index]
+            if future.done():
+                try:
+                    value = future.result(timeout=0)
+                except BrokenProcessPool:
+                    attempts[index] -= 1
+                    requeue.append(index)
+                except Exception as exc:
+                    self._settle(index, shards, attempts, outcomes, requeue,
+                                 _describe(exc))
+                else:
+                    outcomes[index] = ShardOutcome(
+                        key=shards[index].key, value=value,
+                        attempts=attempts[index])
+            else:
+                attempts[index] -= 1
+                requeue.append(index)
+
+    @staticmethod
+    def _kill(executor: ProcessPoolExecutor) -> None:
+        """Tear down a pool whose worker is wedged or dead.
+
+        ``shutdown`` alone would block on (or leak) a hung worker, so the
+        pool's processes are terminated first.  ``_processes`` is private
+        but stable across CPython 3.8–3.13; if it ever disappears the
+        shutdown below still prevents new work from being scheduled.
+        """
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_sharded(worker: Callable[[Any], Any], shards: Sequence[Shard],
+                workers: int = 1, shard_timeout: float | None = None,
+                retries: int = 1) -> list[ShardOutcome]:
+    """One-call convenience wrapper over :class:`ShardRunner`."""
+    return ShardRunner(workers=workers, shard_timeout=shard_timeout,
+                       retries=retries).map(worker, shards)
+
+
+def _describe(exc: BaseException) -> str:
+    """One-line error description with the innermost frame for context."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    location = f" at {frames[-1].filename}:{frames[-1].lineno}" if frames else ""
+    return f"{type(exc).__name__}: {exc}{location}"

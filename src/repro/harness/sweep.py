@@ -6,16 +6,34 @@ because it makes design-space exploration cheap.  This module is the
 library's sweep driver: run a set of kernels over a set of backend
 configurations and collect speedup, utilization, and mapping quality in one
 table — the engine behind ``examples/design_space.py`` and custom studies.
+
+Each ``(kernel, config)`` point is one shard of a
+:class:`~repro.harness.parallel.ShardRunner`, so a sweep fans out over a
+process pool (``workers=N``) while its merged table stays byte-identical
+to the serial run — shards merge in grid order, not completion order.  A
+shard that crashes or times out degrades to a
+``SweepPoint(accelerated=False, reason="shard failed: …")`` row rather
+than aborting the sweep; the rendered matrix marks it ``—`` and lists the
+degraded shards in a footer.
+
+Within one shard worker, the chip-level semantics of PR 1 are preserved:
+every point of the same backend config reuses **one** ``MesaController``
+(per worker process), so re-encountered regions hit the shared
+configuration cache's warm path, and the per-point cache activity is
+surfaced through ``SweepPoint.cache_stats`` / ``SweepResult.cache_stats``.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from ..accel import AcceleratorConfig
 from ..core import MesaController, MesaOptions
+from ..core.configure import CacheStats
 from ..cpu import CpuConfig
 from ..workloads import build_kernel
+from .parallel import Shard, ShardRunner
 from .report import render_table
 
 __all__ = ["SweepPoint", "SweepResult", "sweep_backends", "pe_count_configs"]
@@ -34,6 +52,13 @@ class SweepPoint:
     utilization: float = 0.0
     iteration_latency: float = 0.0
     reason: str = ""
+    #: Configuration-cache activity attributable to this point's execute.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def degraded(self) -> bool:
+        """The point is a placeholder for a failed shard, not a measurement."""
+        return self.reason.startswith("shard failed")
 
 
 @dataclass
@@ -41,6 +66,8 @@ class SweepResult:
     """All measurements of one sweep, with lookup and rendering helpers."""
 
     points: list[SweepPoint] = field(default_factory=list)
+    #: Aggregate configuration-cache activity across every executed point.
+    cache_stats: CacheStats = field(default_factory=CacheStats)
 
     def point(self, kernel: str, config_name: str) -> SweepPoint:
         for candidate in self.points:
@@ -63,6 +90,9 @@ class SweepResult:
                 seen.append(point.config_name)
         return seen
 
+    def degraded_points(self) -> list[SweepPoint]:
+        return [point for point in self.points if point.degraded]
+
     def best_config(self, kernel: str) -> SweepPoint:
         """The configuration with the highest speedup for one kernel."""
         candidates = [p for p in self.points if p.kernel == kernel]
@@ -71,63 +101,143 @@ class SweepResult:
         return max(candidates, key=lambda p: p.speedup)
 
     def render(self, metric: str = "speedup") -> str:
-        """A kernels × configs matrix of one metric."""
+        """A kernels × configs matrix of one metric.
+
+        An absent point — or a degraded shard's placeholder — renders as
+        ``—`` instead of raising; degraded shards are summarized below the
+        table so a partially failed sweep still reports everything it has.
+        """
         configs = self.configs()
         rows = []
         for kernel in self.kernels():
             row: list = [kernel]
             for config_name in configs:
-                point = self.point(kernel, config_name)
-                if not point.accelerated:
+                try:
+                    point = self.point(kernel, config_name)
+                except KeyError:
+                    row.append("—")
+                    continue
+                if point.degraded:
+                    row.append("—")
+                elif not point.accelerated:
                     row.append("cpu")
                 else:
                     row.append(getattr(point, metric))
             rows.append(row)
-        return render_table(["kernel"] + configs, rows,
+        text = render_table(["kernel"] + configs, rows,
                             title=f"Design-space sweep: {metric}")
+        degraded = self.degraded_points()
+        if degraded:
+            lines = [f"degraded shards ({len(degraded)}):"]
+            lines += [f"  {p.kernel} @ {p.config_name}: {p.reason}"
+                      for p in degraded]
+            text += "\n" + "\n".join(lines)
+        return text
+
+
+# -- shard worker -------------------------------------------------------------
+
+#: Per-worker-process controller reuse: one controller per (sweep, backend
+#: config), so every point of a config inside one worker shares the chip's
+#: configuration cache (re-encountered regions hit the warm path).  Keyed by
+#: sweep token so successive sweeps in one process stay independent —
+#: byte-identical to a fresh serial run.
+_WORKER_CONTROLLERS: dict[tuple, MesaController] = {}
+_SWEEP_TOKENS = itertools.count()
+
+
+def _controller_for(token: int, config: AcceleratorConfig,
+                    cpu_config: CpuConfig | None,
+                    options: MesaOptions | None) -> MesaController:
+    key = (token, config, cpu_config, options)
+    controller = _WORKER_CONTROLLERS.get(key)
+    if controller is None:
+        # A new sweep invalidates the previous one's controllers (bounds
+        # worker-resident state in long-lived pool processes).
+        for stale in [k for k in _WORKER_CONTROLLERS if k[0] != token]:
+            del _WORKER_CONTROLLERS[stale]
+        controller = MesaController(config, cpu_config, options)
+        _WORKER_CONTROLLERS[key] = controller
+    return controller
+
+
+def _sweep_point_worker(payload: tuple) -> SweepPoint:
+    """Measure one (kernel, config) grid point (module-level: picklable)."""
+    token, name, config, iterations, cpu_config, options = payload
+    kernel = build_kernel(name, iterations=iterations)
+    controller = _controller_for(token, config, cpu_config, options)
+    run = controller.execute(kernel.program, kernel.state_factory,
+                             parallelizable=kernel.parallelizable)
+    if run.accelerated:
+        return SweepPoint(
+            kernel=name,
+            config_name=config.name,
+            accelerated=True,
+            speedup=run.speedup_vs_single_core,
+            cycles=run.total_cycles,
+            tile_factor=run.loop_plan.tile_factor,
+            utilization=(run.sdfg.utilization()
+                         * run.loop_plan.tile_factor),
+            iteration_latency=(run.runs[0].iteration_latency
+                               if run.runs else 0.0),
+            cache_stats=run.cache_stats,
+        )
+    return SweepPoint(
+        kernel=name,
+        config_name=config.name,
+        accelerated=False,
+        speedup=1.0,
+        cycles=run.total_cycles,
+        reason=run.reason,
+        cache_stats=run.cache_stats,
+    )
 
 
 def sweep_backends(kernels: list[str], configs: list[AcceleratorConfig],
                    iterations: int = 192,
                    cpu_config: CpuConfig | None = None,
-                   options: MesaOptions | None = None) -> SweepResult:
+                   options: MesaOptions | None = None,
+                   workers: int = 1,
+                   shard_timeout: float | None = None) -> SweepResult:
     """Run every kernel on every backend configuration.
 
     Speedups are relative to the single-core OoO baseline (which is part of
     each MESA run).  Kernels that fail to qualify or map on a configuration
     appear with ``accelerated=False`` and speedup 1.0 — on the real system
     they simply keep running on the CPU.
+
+    Args:
+        workers: shard the grid over this many worker processes; ``1``
+            (default) runs serially in-process.  Results are merged in grid
+            order either way, so the output is byte-identical.
+        shard_timeout: wall-clock seconds allowed per (kernel, config)
+            point before it degrades to a ``shard failed`` row (pooled
+            execution only).
     """
+    token = next(_SWEEP_TOKENS)
+    shards = [Shard(key=(config.name, name),
+                    payload=(token, name, config, iterations, cpu_config,
+                             options))
+              for config in configs
+              for name in kernels]
+    runner = ShardRunner(workers=workers, shard_timeout=shard_timeout)
     result = SweepResult()
-    for config in configs:
-        for name in kernels:
-            kernel = build_kernel(name, iterations=iterations)
-            controller = MesaController(config, cpu_config, options)
-            run = controller.execute(kernel.program, kernel.state_factory,
-                                     parallelizable=kernel.parallelizable)
-            if run.accelerated:
-                point = SweepPoint(
-                    kernel=name,
-                    config_name=config.name,
-                    accelerated=True,
-                    speedup=run.speedup_vs_single_core,
-                    cycles=run.total_cycles,
-                    tile_factor=run.loop_plan.tile_factor,
-                    utilization=(run.sdfg.utilization()
-                                 * run.loop_plan.tile_factor),
-                    iteration_latency=(run.runs[0].iteration_latency
-                                       if run.runs else 0.0),
-                )
-            else:
-                point = SweepPoint(
-                    kernel=name,
-                    config_name=config.name,
-                    accelerated=False,
-                    speedup=1.0,
-                    cycles=run.total_cycles,
-                    reason=run.reason,
-                )
-            result.points.append(point)
+    for shard, outcome in zip(shards, runner.map(_sweep_point_worker,
+                                                 shards)):
+        if outcome.failed:
+            config_name, kernel_name = shard.key
+            point = SweepPoint(
+                kernel=kernel_name,
+                config_name=config_name,
+                accelerated=False,
+                speedup=1.0,
+                cycles=0.0,
+                reason=f"shard failed: {outcome.error}",
+            )
+        else:
+            point = outcome.value
+        result.points.append(point)
+        result.cache_stats = result.cache_stats + point.cache_stats
     return result
 
 

@@ -66,8 +66,15 @@ class ExecutionError(RuntimeError):
 
 
 def _f32(value: float) -> float:
-    """Round a Python float to single precision (the accelerator is FP32)."""
-    return struct.unpack("<f", struct.pack("<f", value))[0]
+    """Round a Python float to single precision (the accelerator is FP32).
+
+    Magnitudes beyond FP32 range overflow to ±inf, as IEEE-754
+    round-to-nearest does in hardware (struct refuses to pack them).
+    """
+    try:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    except OverflowError:
+        return math.inf if value > 0 else -math.inf
 
 
 class _DictMemory:

@@ -1,5 +1,8 @@
 """End-to-end tests of the MESA controller."""
 
+import threading
+import time
+
 import pytest
 
 from repro import M_128, MesaController, MesaOptions, assemble
@@ -256,6 +259,73 @@ class TestConfigCacheWarmPath:
                                parallelizable=True)
         assert not result.config_cache_hit, (
             "an M-128 configuration must not be replayed on M-64")
+
+
+class TestPhaseTimingThreadSafety:
+    """Regression: two threads sharing one controller used to clobber each
+    other's ``phase_seconds`` (the accumulator was an instance dict that
+    ``execute`` reset, so a concurrent run wiped the other's partial
+    timings).  The accumulator is now thread-local."""
+
+    # Phases every execute records; translate/map/configure additionally
+    # run on a config-cache miss ("optimize" needs iterative_rounds > 0).
+    ALWAYS = {"trace", "cpu-model", "detect", "execute"}
+    COLD = {"translate", "map", "configure"}
+
+    def test_concurrent_executes_keep_phase_timings_complete(self):
+        controller = MesaController(M_128)
+        barrier = threading.Barrier(2)
+        results = [None, None]
+        walls = [0.0, 0.0]
+
+        def run(slot):
+            barrier.wait()
+            start = time.perf_counter()
+            results[slot] = controller.execute(
+                INCREMENT_LOOP, increment_state, parallelizable=True)
+            walls[slot] = time.perf_counter() - start
+
+        threads = [threading.Thread(target=run, args=(slot,))
+                   for slot in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for slot, result in enumerate(results):
+            assert result.accelerated
+            expected = set(self.ALWAYS)
+            if not result.config_cache_hit:
+                expected |= self.COLD
+            recorded = set(result.phase_seconds)
+            assert expected <= recorded, (
+                f"thread {slot} lost phases: {expected - recorded}")
+            assert all(seconds >= 0.0
+                       for seconds in result.phase_seconds.values())
+            # Disjoint: a thread's timings cover only its own run, so they
+            # cannot exceed its own wall clock (the shared-dict bug let one
+            # thread's phases leak into — and inflate — the other's).
+            assert sum(result.phase_seconds.values()) <= walls[slot] + 0.05
+        assert results[0].phase_seconds is not results[1].phase_seconds
+
+    def test_phase_accumulator_is_thread_local(self):
+        controller = MesaController(M_128)
+        seen = {}
+
+        def accumulate(name, delay):
+            with controller._phase(name):
+                time.sleep(delay)
+            seen[name] = dict(controller._phase_seconds_for_thread())
+
+        threads = [threading.Thread(target=accumulate, args=("a", 0.02)),
+                   threading.Thread(target=accumulate, args=("b", 0.02))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert set(seen["a"]) == {"a"}, "thread A never saw thread B's phase"
+        assert set(seen["b"]) == {"b"}, "thread B never saw thread A's phase"
 
 
 class TestFailureReasons:

@@ -63,6 +63,42 @@ class TestIterativeOptimization:
             "measured AMAT must replace the initial estimate")
         assert load_entry.op_latency > 2.0
 
+    def test_mispredicted_op_latency_corrected_in_one_round(self):
+        """Regression: the engine's per-node counters used to be ignored
+        (the profiled run was dead weight), so a wrong static latency on a
+        compute node survived every round.  One round must now pull the
+        node's weight back to its measured operation latency."""
+        ldfg = make_ldfg()
+        add_entry = next(e for e in ldfg.entries
+                         if e.instruction.opcode.value == "add")
+        add_entry.op_latency = 40.0  # grossly mispredicted: int ALU is 1
+        sdfg = InstructionMapper(CONFIG).map(ldfg)
+        optimizer = IterativeOptimizer(CONFIG)
+        optimizer.optimize(ldfg, sdfg, state_factory, small_hierarchy(),
+                           rounds=1, profile_iterations=16)
+        assert add_entry.op_latency != 40.0, (
+            "measured node latency must replace the misprediction")
+        assert add_entry.op_latency == pytest.approx(1.0, abs=1.0), (
+            f"an integer add measures ~1 cycle, "
+            f"got {add_entry.op_latency}")
+
+    def test_correct_weights_survive_refinement(self):
+        """Measurement-driven refinement must be a no-op (to within noise)
+        when the static prediction was already right."""
+        ldfg = make_ldfg()
+        compute = [e for e in ldfg.entries
+                   if not e.instruction.is_memory]
+        before = {e.node_id: e.op_latency for e in compute}
+        sdfg = InstructionMapper(CONFIG).map(ldfg)
+        optimizer = IterativeOptimizer(CONFIG)
+        optimizer.optimize(ldfg, sdfg, state_factory, small_hierarchy(),
+                           rounds=1, profile_iterations=16)
+        for entry in compute:
+            assert entry.op_latency == pytest.approx(
+                before[entry.node_id], abs=1.0), (
+                f"{entry.instruction.opcode.value}: "
+                f"{before[entry.node_id]} -> {entry.op_latency}")
+
     def test_history_recorded(self):
         ldfg = make_ldfg()
         sdfg = InstructionMapper(CONFIG).map(ldfg)

@@ -1,0 +1,145 @@
+"""Tests for the process-parallel shard runner."""
+
+import os
+import time
+
+import pytest
+
+from repro.harness import Shard, ShardOutcome, ShardRunner, run_sharded
+
+
+# -- worker functions (module-level: picklable into pool processes) -----------
+
+def _square(payload):
+    return payload * payload
+
+def _slow_square(payload):
+    value, delay = payload
+    time.sleep(delay)
+    return value * value
+
+def _crash_once(payload):
+    """Hard-kill the worker process on the first attempt, succeed after.
+
+    The marker file records that the first attempt happened; the retry (a
+    fresh process, same filesystem) sees it and completes normally.
+    """
+    value, marker = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("crashed")
+        os._exit(1)  # bypasses exception handling: BrokenProcessPool
+    return value * value
+
+def _fail_once(payload):
+    """Raise (cleanly) on the first attempt, succeed on the retry."""
+    value, marker = payload
+    if not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write("failed")
+        raise RuntimeError("transient failure")
+    return value * value
+
+def _always_raises(payload):
+    raise ValueError(f"bad shard {payload}")
+
+def _always_crashes(payload):
+    os._exit(1)
+
+
+def _shards(payloads):
+    return [Shard(key=(i,), payload=p) for i, p in enumerate(payloads)]
+
+
+class TestShardRunnerSerial:
+    def test_inline_map_preserves_order(self):
+        outcomes = ShardRunner(workers=1).map(_square, _shards([3, 1, 2]))
+        assert [o.value for o in outcomes] == [9, 1, 4]
+        assert all(not o.failed and o.attempts == 1 for o in outcomes)
+
+    def test_inline_exception_degrades_after_retries(self):
+        outcomes = ShardRunner(workers=1, retries=1).map(
+            _always_raises, _shards(["x"]))
+        assert outcomes[0].failed
+        assert outcomes[0].attempts == 2, "one retry consumed"
+        assert "ValueError" in outcomes[0].error
+        assert "bad shard x" in outcomes[0].error
+
+    def test_inline_retry_recovers(self, tmp_path):
+        marker = str(tmp_path / "failed")
+        outcomes = ShardRunner(workers=1, retries=1).map(
+            _fail_once, _shards([(5, marker)]))
+        assert not outcomes[0].failed
+        assert outcomes[0].value == 25
+        assert outcomes[0].attempts == 2
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            ShardRunner(workers=0)
+        with pytest.raises(ValueError):
+            ShardRunner(retries=-1)
+
+
+class TestShardRunnerPooled:
+    def test_parallel_matches_serial_order(self):
+        shards = _shards(list(range(8)))
+        serial = ShardRunner(workers=1).map(_square, shards)
+        pooled = ShardRunner(workers=2).map(_square, shards)
+        assert [o.key for o in pooled] == [o.key for o in serial]
+        assert [o.value for o in pooled] == [o.value for o in serial]
+
+    def test_merge_order_is_submission_not_completion(self):
+        # The first shard is the slowest; completion order is reversed
+        # relative to submission order, but the merge is not.
+        shards = _shards([(4, 0.4), (3, 0.05), (2, 0.0)])
+        outcomes = ShardRunner(workers=3).map(_slow_square, shards)
+        assert [o.value for o in outcomes] == [16, 9, 4]
+
+    def test_timeout_degrades_shard(self):
+        shards = _shards([(1, 0.0), (2, 30.0), (3, 0.0)])
+        outcomes = ShardRunner(workers=2, shard_timeout=0.5,
+                               retries=0).map(_slow_square, shards)
+        assert outcomes[0].value == 1
+        assert outcomes[1].failed
+        assert "timed out" in outcomes[1].error
+        assert outcomes[2].value == 9, \
+            "shards after the timeout still complete"
+
+    def test_crash_retried_once_then_succeeds(self, tmp_path):
+        marker = str(tmp_path / "crashed")
+        satisfied = str(tmp_path / "pre-existing")
+        with open(satisfied, "w") as handle:
+            handle.write("ok")
+        # A single shard runs inline by design; a healthy sibling (whose
+        # marker already exists, so it never crashes) forces the pooled path.
+        shards = [Shard(key=(0,), payload=(6, marker)),
+                  Shard(key=(1,), payload=(3, satisfied))]
+        outcomes = ShardRunner(workers=2, retries=1).map(
+            _crash_once, shards)
+        assert not outcomes[0].failed
+        assert outcomes[0].value == 36
+        assert outcomes[0].attempts == 2, "recovered on the bounded retry"
+        assert outcomes[1].value == 9
+
+    def test_crash_exhausting_retries_degrades(self):
+        outcomes = ShardRunner(workers=2, retries=1).map(
+            _always_crashes, _shards([7, 8]))
+        assert all(o.failed for o in outcomes)
+        assert all("crashed" in o.error for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+
+    def test_worker_exception_keeps_pool_alive(self):
+        outcomes = ShardRunner(workers=2, retries=0).map(
+            _always_raises, _shards(["a", "b", "c"]))
+        assert all(o.failed for o in outcomes)
+        assert [o.key for o in outcomes] == [(0,), (1,), (2,)]
+
+
+class TestRunSharded:
+    def test_convenience_wrapper(self):
+        outcomes = run_sharded(_square, _shards([2, 3]), workers=2)
+        assert [o.value for o in outcomes] == [4, 9]
+
+    def test_outcome_failed_property(self):
+        assert ShardOutcome(key=(0,), error="boom").failed
+        assert not ShardOutcome(key=(0,), value=1).failed

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.accel import AcceleratorConfig, M_128, M_64
-from repro.harness import pe_count_configs, sweep_backends
+from repro.core.configure import CacheStats
+from repro.harness import (
+    SweepPoint,
+    SweepResult,
+    pe_count_configs,
+    sweep_backends,
+)
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +50,53 @@ class TestSweep:
     def test_render_other_metric(self, sweep):
         text = sweep.render("tile_factor")
         assert "tile_factor" in text
+
+    def test_cache_stats_surfaced(self, sweep):
+        total = CacheStats()
+        for point in sweep.points:
+            total = total + point.cache_stats
+        assert sweep.cache_stats == total
+        assert sweep.cache_stats.misses >= 1, \
+            "accelerated points record their config-cache activity"
+
+
+class TestParallelSweep:
+    def test_workers_match_serial_bit_identical(self, sweep):
+        pooled = sweep_backends(["nn", "srad"], [M_64, M_128],
+                                iterations=96, workers=2)
+        assert pooled.points == sweep.points
+        assert pooled.cache_stats == sweep.cache_stats
+        assert pooled.render("speedup") == sweep.render("speedup")
+
+
+class TestDegradedRendering:
+    @staticmethod
+    def _result():
+        return SweepResult(points=[
+            SweepPoint(kernel="nn", config_name="M-64", accelerated=True,
+                       speedup=3.0, cycles=100.0),
+            SweepPoint(kernel="nn", config_name="M-128", accelerated=False,
+                       speedup=1.0, cycles=0.0,
+                       reason="shard failed: timed out after 5s"),
+            SweepPoint(kernel="srad", config_name="M-64", accelerated=False,
+                       speedup=1.0, cycles=200.0, reason="serial loop"),
+            # (srad, M-128) intentionally absent.
+        ])
+
+    def test_missing_point_renders_placeholder(self):
+        text = self._result().render("speedup")
+        assert "—" in text, "absent point renders a placeholder, not KeyError"
+
+    def test_degraded_point_renders_placeholder_and_footer(self):
+        result = self._result()
+        assert [p.kernel for p in result.degraded_points()] == ["nn"]
+        text = result.render("speedup")
+        assert "degraded shards (1):" in text
+        assert "nn @ M-128: shard failed: timed out after 5s" in text
+
+    def test_healthy_sweep_has_no_footer(self, sweep):
+        assert "degraded" not in sweep.render("speedup")
+        assert sweep.degraded_points() == []
 
 
 class TestPeCountConfigs:

@@ -8,9 +8,18 @@ from repro.cli import build_parser, main
 class TestParser:
     def test_run_defaults(self):
         args = build_parser().parse_args(["run", "nn"])
-        assert args.kernel == "nn"
+        assert args.kernel == ["nn"]
         assert args.config == "M-128"
         assert args.iterations == 256
+        assert args.workers == 1
+        assert args.shard_timeout is None
+
+    def test_run_accepts_multiple_kernels(self):
+        args = build_parser().parse_args(
+            ["run", "nn", "kmeans", "--workers", "2", "--shard-timeout", "60"])
+        assert args.kernel == ["nn", "kmeans"]
+        assert args.workers == 2
+        assert args.shard_timeout == 60.0
 
     def test_unknown_kernel_rejected(self):
         with pytest.raises(SystemExit):
@@ -51,6 +60,19 @@ class TestCommands:
         assert main(["run", "srad", "--iterations", "96"]) == 0
         out = capsys.readouterr().out
         assert "accelerated: False" in out
+
+    def test_run_many_kernels_renders_table(self, capsys):
+        assert main(["run", "nn", "srad", "--iterations", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "workers=1" in out
+        assert "nn" in out and "srad" in out
+        assert "yes" in out and "no" in out
+
+    def test_run_many_rejects_profile_and_repeat(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nn", "srad", "--profile"])
+        with pytest.raises(SystemExit):
+            main(["run", "nn", "srad", "--repeat", "2"])
 
     def test_run_serial_flag(self, capsys):
         assert main(["run", "nn", "--iterations", "96", "--serial"]) == 0
