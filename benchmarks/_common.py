@@ -22,6 +22,11 @@ ITERATIONS = 384
 #: fan the sweeps out over a process pool (output is identical either way).
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
+#: Physical parallelism of the host — scaling assertions only make sense
+#: when real cores back the worker processes, so benchmarks gate on this
+#: and record it next to their numbers.
+CORES = os.cpu_count() or 1
+
 
 def emit(name: str, text: str) -> None:
     """Print a rendered result and persist it under benchmarks/results/."""

@@ -30,6 +30,7 @@ from .harness import (
     format_cache_stats,
     table1_area_power,
     table2_config_latency,
+    warm_boot_imports,
 )
 from .workloads import build_kernel, kernel_names
 
@@ -97,12 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _add_shard_flags(cmd) -> None:
     cmd.add_argument("--workers", type=int, default=1, metavar="N",
-                     help="shard the work over N worker processes "
-                          "(default 1: serial, byte-identical output)")
+                     help="run shards on N persistent worker processes "
+                          "(default 1: serial in-process; any N > 1 pools, "
+                          "even for a single kernel — byte-identical "
+                          "output either way)")
     cmd.add_argument("--shard-timeout", type=float, default=None,
                      metavar="S",
-                     help="wall-clock seconds per shard before it degrades "
-                          "to a failed row (workers > 1 only)")
+                     help="wall-clock seconds per shard, measured from the "
+                          "moment it starts executing on a worker; on "
+                          "expiry only that worker is killed and the shard "
+                          "degrades to a failed row (workers > 1 only)")
 
 
 def _run_kernel_worker(payload: tuple) -> dict:
@@ -135,7 +140,8 @@ def _cmd_run_many(args) -> str:
                     payload=(name, args.config, args.iterations, args.serial))
               for name in args.kernel]
     runner = ShardRunner(workers=args.workers,
-                         shard_timeout=args.shard_timeout)
+                         shard_timeout=args.shard_timeout,
+                         initializer=warm_boot_imports)
     rows = []
     degraded = []
     for outcome in runner.map(_run_kernel_worker, shards):
@@ -249,9 +255,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "run":
-        if len(args.kernel) > 1:
-            if args.profile or args.repeat > 1:
-                parser.error("--profile/--repeat apply to a single kernel")
+        # workers > 1 always takes the pooled path — even for one kernel —
+        # so --shard-timeout enforcement and process isolation never
+        # silently disappear.
+        pooled = len(args.kernel) > 1 or args.workers > 1
+        if pooled and (args.profile or args.repeat > 1):
+            parser.error("--profile/--repeat apply to a single kernel "
+                         "run in-process (--workers 1)")
+        if pooled:
             print(_cmd_run_many(args))
         else:
             print(_cmd_run(args))

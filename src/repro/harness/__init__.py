@@ -29,7 +29,15 @@ from .figures import (
     fig15_pe_scaling,
     fig16_amortization,
 )
-from .parallel import Shard, ShardOutcome, ShardRunner, run_sharded
+from .parallel import (
+    Shard,
+    ShardOutcome,
+    ShardRunner,
+    describe_error,
+    pool_start_method,
+    run_sharded,
+    warm_boot_imports,
+)
 from .report import (
     format_cache_stats,
     format_value,
@@ -68,7 +76,10 @@ __all__ = [
     "Shard",
     "ShardOutcome",
     "ShardRunner",
+    "describe_error",
+    "pool_start_method",
     "run_sharded",
+    "warm_boot_imports",
     "SweepPoint",
     "SweepResult",
     "pe_count_configs",

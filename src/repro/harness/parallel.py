@@ -4,38 +4,92 @@ The paper's evaluation is an embarrassingly parallel grid — kernels ×
 backend configs × PE-scaling points — but a single Python process caps the
 harness's throughput no matter how fast the simulator's hot loop gets.
 This module decomposes a sweep into independent *shards* (one picklable
-work unit each, e.g. one ``(kernel, config)`` point), executes them on a
-``concurrent.futures.ProcessPoolExecutor``, and merges the results
+work unit each — a ``(kernel, config)`` point, or a *chunk* of points) and
+executes them on a **persistent pool of warm workers**, merging the results
 **deterministically**: outcomes are returned in shard-submission order, not
 completion order, so any table or JSON built from them is byte-identical to
 a serial run.
 
-Each shard gets robustness semantics that transfer to any serving stack:
+The pool is not a ``ProcessPoolExecutor``.  Each worker process is owned
+directly and served one shard at a time over its own pipe, which buys three
+serving-grade properties the shared-queue executor cannot give:
 
-* **per-shard wall-clock timeout** (``shard_timeout``) — a wedged shard is
-  abandoned and its worker process killed;
-* **one bounded retry** (``retries``, default 1) on a crash, timeout, or
-  worker exception;
-* **graceful degradation** — a shard that exhausts its retries becomes a
-  failed :class:`ShardOutcome` carrying the error string, and the caller
-  renders it as a degraded row instead of aborting the whole sweep.
+* **warm boot** — every worker runs an ``initializer`` before accepting
+  work (pre-import the simulator stack, pre-build per-config controllers)
+  and signals readiness over the pipe; a worker survives across shards and
+  across retry rounds, so per-process caches stay resident;
+* **deadline watchdog** — a shard's wall-clock budget (``shard_timeout``,
+  or the per-shard :attr:`Shard.timeout` override) is measured from the
+  moment the shard is handed to an idle worker, i.e. from actual execution
+  start.  A shard queued behind a slow one gets its *full* budget.  On
+  expiry only the wedged worker is killed and replaced; every other
+  in-flight shard keeps running — the pool is repaired, never rebuilt;
+* **exact crash blame** — the parent knows which worker holds which shard,
+  so a dying worker process degrades *its* shard only.  Innocent shards
+  are unaffected (no ``BrokenProcessPool`` fan-out, no refund bookkeeping).
+
+Each shard gets robustness semantics that transfer to any serving stack:
+a wall-clock deadline, ``retries`` bounded re-execution after a crash,
+timeout, or worker exception, and **graceful degradation** — a shard that
+exhausts its retries becomes a failed :class:`ShardOutcome` carrying the
+error string, and the caller renders it as a degraded row instead of
+aborting the whole sweep.
 
 ``workers=1`` runs every shard inline in the calling process — no pool, no
 pickling — preserving the exact pre-existing serial behaviour (and letting
 worker-side caches, like the per-config controller reuse in
-:mod:`repro.harness.sweep`, live in the caller's process).
+:mod:`repro.harness.sweep`, live in the caller's process).  Any
+``workers > 1`` goes through the pool, *including a single shard*: a lone
+``(kernel, config)`` point still gets timeout enforcement and process
+isolation.
+
+Worker processes use the ``fork`` start method where the platform provides
+it (the child inherits every imported module, making warm boot nearly
+free) and fall back to ``spawn``; override with ``REPRO_MP_START_METHOD``.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
+from collections import deque
 from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_on
 from typing import Any, Callable, Sequence
 
-__all__ = ["Shard", "ShardOutcome", "ShardRunner", "run_sharded"]
+__all__ = ["Shard", "ShardOutcome", "ShardRunner", "run_sharded",
+           "describe_error", "pool_start_method", "warm_boot_imports"]
+
+
+def pool_start_method() -> str:
+    """The multiprocessing start method the pool will use.
+
+    ``fork`` where the platform allows it — the child inherits the parent's
+    imported modules and read-only state, so warm boot costs almost nothing
+    — with ``spawn`` as the portable fallback (macOS, Windows).  Set
+    ``REPRO_MP_START_METHOD=spawn|fork|forkserver`` to override.
+    """
+    override = os.environ.get("REPRO_MP_START_METHOD")
+    if override:
+        return override
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def warm_boot_imports() -> None:
+    """Default warm-boot initializer for this repo's own drivers.
+
+    Imports the simulator stack so a spawn-context worker's first shard
+    pays no import latency; under ``fork`` the child inherits the parent's
+    modules and this is a no-op.
+    """
+    import repro.accel  # noqa: F401
+    import repro.core  # noqa: F401
+    import repro.cpu  # noqa: F401
+    import repro.harness.experiment  # noqa: F401
+    import repro.workloads  # noqa: F401
 
 
 @dataclass(frozen=True)
@@ -43,11 +97,15 @@ class Shard:
     """One independent unit of work.
 
     ``key`` identifies and orders the shard (e.g. ``(config, kernel)``);
-    ``payload`` is the picklable argument handed to the worker function.
+    ``payload`` is the picklable argument handed to the worker function;
+    ``timeout`` overrides the runner-wide ``shard_timeout`` for this shard
+    (chunked shards scale it by their chunk size so a *per-point* budget
+    still holds).
     """
 
     key: tuple
     payload: Any
+    timeout: float | None = None
 
 
 @dataclass
@@ -57,7 +115,9 @@ class ShardOutcome:
     key: tuple
     value: Any = None
     error: str | None = None
-    #: Worker invocations consumed (1 = first try succeeded).
+    #: Worker invocations consumed (1 = first try succeeded).  Pool repair
+    #: after an unrelated worker's crash or timeout never charges an
+    #: attempt: only this shard's own crash/timeout/exception does.
     attempts: int = 1
 
     @property
@@ -65,20 +125,268 @@ class ShardOutcome:
         return self.error is not None
 
 
+# -- worker process side ------------------------------------------------------
+
+_READY = "ready"
+_OK = "ok"
+_ERR = "err"
+_TASK = "task"
+_STOP = "stop"
+
+
+def _worker_main(conn, worker_fn, initializer, initargs) -> None:
+    """Worker process loop: warm boot, signal readiness, then serve one
+    shard at a time (strict request/response over ``conn``)."""
+    try:
+        if initializer is not None:
+            initializer(*initargs)
+        conn.send((_READY, None))
+        while True:
+            kind, payload = conn.recv()
+            if kind == _STOP:
+                break
+            try:
+                message = (_OK, worker_fn(payload))
+            except Exception as exc:
+                message = (_ERR, describe_error(exc))
+            try:
+                conn.send(message)
+            except (EOFError, OSError):
+                break
+            except Exception as exc:
+                # The result didn't pickle; the shard still gets an answer.
+                # (Connection.send pickles before writing, so the stream is
+                # still clean when it raises.)
+                conn.send((_ERR, describe_error(exc)))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# -- parent side --------------------------------------------------------------
+
+class _PoolWorker:
+    """Parent-side handle for one persistent worker process."""
+
+    __slots__ = ("process", "conn", "ready", "shard_index", "deadline")
+
+    def __init__(self, ctx, worker_fn, initializer, initargs) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, worker_fn, initializer, initargs),
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.ready = False
+        #: Index of the in-flight shard, or None when idle.
+        self.shard_index: int | None = None
+        #: Monotonic deadline of the in-flight shard (None = unbounded).
+        self.deadline: float | None = None
+
+    @property
+    def idle(self) -> bool:
+        return self.ready and self.shard_index is None
+
+    def dispatch(self, index: int, payload: Any,
+                 timeout: float | None) -> None:
+        """Hand one shard to this (idle) worker.  The worker is blocked on
+        ``recv``, so the send time *is* the shard's execution start — the
+        deadline clock anchors here, not at submission or harvest."""
+        self.conn.send((_TASK, payload))
+        self.shard_index = index
+        self.deadline = (time.monotonic() + timeout
+                         if timeout is not None else None)
+
+    def retire(self) -> None:
+        """Ask an idle worker to exit (best effort)."""
+        try:
+            self.conn.send((_STOP, None))
+        except (EOFError, OSError):
+            pass
+
+    def kill(self) -> None:
+        """Tear down a wedged or dead worker immediately."""
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=2.0)
+
+
+class _WorkerPool:
+    """A fixed-size pool of persistent workers with direct dispatch.
+
+    The parent tracks exactly which worker holds which shard, so timeout
+    and crash blame are per-worker, and repair replaces only the killed
+    member — surviving workers keep their warm state.
+    """
+
+    #: Consecutive exits during warm-up tolerated before giving up; a
+    #: worker that can't even boot is an environment failure, not any
+    #: shard's fault.
+    MAX_BOOT_FAILURES = 3
+
+    #: A worker died while holding a shard.
+    DIED = "died"
+    #: A worker blew through its shard's deadline and was killed.
+    DEADLINE = "deadline"
+
+    def __init__(self, size: int, worker_fn, initializer, initargs,
+                 start_method: str) -> None:
+        self._ctx = multiprocessing.get_context(start_method)
+        self._spawn_args = (worker_fn, initializer, initargs)
+        self._size = size
+        self._members: list[_PoolWorker] = []
+        self._boot_failures = 0
+
+    def repair(self, outstanding: int) -> None:
+        """Keep ``min(size, outstanding)`` workers alive — the initial
+        spawn and every replacement after a kill go through here."""
+        target = min(self._size, outstanding)
+        while len(self._members) < target:
+            self._members.append(_PoolWorker(self._ctx, *self._spawn_args))
+
+    def idle_workers(self) -> list[_PoolWorker]:
+        return [w for w in self._members if w.idle]
+
+    def wait(self) -> list[tuple]:
+        """Block until the next event: a worker message, a worker death, or
+        the nearest in-flight deadline.  Returns ``(kind, shard_index,
+        value)`` tuples for every shard-affecting event."""
+        now = time.monotonic()
+        deadlines = [w.deadline for w in self._members
+                     if w.shard_index is not None and w.deadline is not None]
+        timeout = max(0.0, min(deadlines) - now) if deadlines else None
+        by_conn = {w.conn: w for w in self._members}
+        by_sentinel = {w.process.sentinel: w for w in self._members}
+        fired = _wait_on(list(by_conn) + list(by_sentinel), timeout=timeout)
+
+        events: list[tuple] = []
+        dead: list[_PoolWorker] = []
+        # Messages first: a worker that answered and then died delivered a
+        # result, not a casualty.
+        for obj in fired:
+            worker = by_conn.get(obj)
+            if worker is None:
+                continue
+            if not self._receive(worker, events):
+                dead.append(worker)
+        for obj in fired:
+            worker = by_sentinel.get(obj)
+            if worker is not None and worker not in dead:
+                dead.append(worker)
+        for worker in dead:
+            self._bury(worker, events)
+        # Deadlines last: anything that finished in this batch is already
+        # settled and cannot be charged a timeout.
+        now = time.monotonic()
+        for worker in list(self._members):
+            if (worker.shard_index is not None and worker.deadline is not None
+                    and now >= worker.deadline):
+                index = worker.shard_index
+                self._discard(worker)
+                events.append((self.DEADLINE, index, None))
+        return events
+
+    def close(self) -> None:
+        """Graceful stop for idle members, hard kill for the rest."""
+        for worker in self._members:
+            if worker.idle:
+                worker.retire()
+        grace = time.monotonic() + 1.0
+        for worker in self._members:
+            worker.process.join(timeout=max(0.0, grace - time.monotonic()))
+        for worker in self._members:
+            worker.kill()
+        self._members = []
+
+    # -- internals ----------------------------------------------------------
+
+    def _receive(self, worker: _PoolWorker, events: list) -> bool:
+        """Drain one message from a worker; False if the pipe is dead."""
+        try:
+            kind, value = worker.conn.recv()
+        except (EOFError, OSError):
+            return False
+        if kind == _READY:
+            worker.ready = True
+            self._boot_failures = 0
+        else:
+            index = worker.shard_index
+            worker.shard_index = None
+            worker.deadline = None
+            events.append((kind, index, value))
+        return True
+
+    def _bury(self, worker: _PoolWorker, events: list) -> None:
+        """A worker process died: blame its in-flight shard (if any),
+        count a boot failure if it never became ready, and discard it —
+        ``repair`` will spawn the replacement."""
+        # A final answer may still be buffered on the pipe; harvesting it
+        # converts "crash" into a delivered result.
+        try:
+            while worker.conn.poll(0):
+                if not self._receive(worker, events):
+                    break
+        except (EOFError, OSError):
+            pass
+        index = worker.shard_index
+        became_ready = worker.ready
+        self._discard(worker)
+        if index is not None:
+            events.append((self.DIED, index, None))
+        elif not became_ready:
+            self._boot_failures += 1
+            if self._boot_failures >= self.MAX_BOOT_FAILURES:
+                raise RuntimeError(
+                    "worker pool failed to boot: workers keep exiting "
+                    "during warm-up (crashing initializer?)")
+
+    def _discard(self, worker: _PoolWorker) -> None:
+        if worker in self._members:
+            self._members.remove(worker)
+        worker.kill()
+
+
 class ShardRunner:
-    """Executes shards on a process pool with timeout/retry/degrade.
+    """Executes shards on a persistent worker pool with warm boot, a
+    start-anchored deadline watchdog, and exact retry/degrade semantics.
 
     Args:
         workers: pool size; ``1`` (the default) runs shards inline in the
             calling process, byte-identical to the historical serial path.
-        shard_timeout: wall-clock seconds allowed per shard before it is
-            abandoned (None = unbounded).  Only enforceable with
-            ``workers > 1`` — an in-process shard cannot be interrupted.
+            Any larger value pools — even for a single shard, so timeout
+            enforcement and process isolation never silently disappear.
+        shard_timeout: wall-clock seconds allowed per shard, measured from
+            the moment the shard starts executing on a worker (None =
+            unbounded).  :attr:`Shard.timeout` overrides it per shard.
+            Only enforceable with ``workers > 1`` — an in-process shard
+            cannot be interrupted.
         retries: extra attempts granted after a crash/timeout/exception.
+        initializer: warm-boot callable run once in each worker process
+            before it accepts shards (and once in the calling process for
+            the inline path, which *is* the worker).  Must be picklable
+            under the ``spawn`` start method.
+        initargs: arguments for ``initializer``.
+        start_method: multiprocessing start method; defaults to
+            :func:`pool_start_method` (fork where available, else spawn).
     """
 
     def __init__(self, workers: int = 1, shard_timeout: float | None = None,
-                 retries: int = 1) -> None:
+                 retries: int = 1,
+                 initializer: Callable[..., None] | None = None,
+                 initargs: Sequence[Any] = (),
+                 start_method: str | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if retries < 0:
@@ -86,6 +394,9 @@ class ShardRunner:
         self.workers = workers
         self.shard_timeout = shard_timeout
         self.retries = retries
+        self.initializer = initializer
+        self.initargs = tuple(initargs)
+        self.start_method = start_method or pool_start_method()
 
     # -- public API ---------------------------------------------------------
 
@@ -97,9 +408,14 @@ class ShardRunner:
         regardless of completion order or worker count.  ``worker`` must be
         a module-level (picklable) callable when ``workers > 1``.
         """
-        if self.workers == 1 or len(shards) <= 1:
+        shards = list(shards)
+        if not shards:
+            return []
+        if self.workers == 1:
+            if self.initializer is not None:
+                self.initializer(*self.initargs)
             return [self._run_inline(worker, shard) for shard in shards]
-        return self._run_pooled(worker, list(shards))
+        return self._run_pooled(worker, shards)
 
     # -- serial path --------------------------------------------------------
 
@@ -115,132 +431,87 @@ class ShardRunner:
                 if attempts > self.retries:
                     return ShardOutcome(
                         key=shard.key, attempts=attempts,
-                        error=_describe(exc))
+                        error=describe_error(exc))
 
     # -- pooled path --------------------------------------------------------
 
     def _run_pooled(self, worker, shards: list[Shard]) -> list[ShardOutcome]:
         outcomes: dict[int, ShardOutcome] = {}
         attempts = [0] * len(shards)
-        pending = list(range(len(shards)))
-        while pending:
-            pending = self._pool_round(worker, shards, pending, attempts,
-                                       outcomes)
+        pending = deque(range(len(shards)))
+        pool = _WorkerPool(min(self.workers, len(shards)), worker,
+                           self.initializer, self.initargs,
+                           self.start_method)
+        try:
+            while len(outcomes) < len(shards):
+                pool.repair(outstanding=len(shards) - len(outcomes))
+                self._dispatch(pool, worker_shards=shards, pending=pending,
+                               attempts=attempts, outcomes=outcomes)
+                for kind, index, value in pool.wait():
+                    if kind == _OK:
+                        outcomes[index] = ShardOutcome(
+                            key=shards[index].key, value=value,
+                            attempts=attempts[index])
+                    elif kind == _ERR:
+                        self._settle(index, shards, attempts, outcomes,
+                                     pending, value)
+                    elif kind == _WorkerPool.DIED:
+                        self._settle(index, shards, attempts, outcomes,
+                                     pending, "worker process crashed")
+                    elif kind == _WorkerPool.DEADLINE:
+                        budget = self._budget(shards[index])
+                        self._settle(index, shards, attempts, outcomes,
+                                     pending,
+                                     f"timed out after {budget:g}s")
+        finally:
+            pool.close()
         return [outcomes[i] for i in range(len(shards))]
 
-    def _pool_round(self, worker, shards, pending: list[int],
-                    attempts: list[int],
-                    outcomes: dict[int, ShardOutcome]) -> list[int]:
-        """One pool generation: submit every pending shard, harvest in
-        order.  A timeout or a crashed worker poisons the pool, so the
-        round ends there — finished futures are still harvested, unfinished
-        shards are requeued (their attempt is refunded: they were not at
-        fault), and the next round starts a fresh pool."""
-        requeue: list[int] = []
-        executor = ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)))
-        torn_down = False
-        try:
-            futures = {}
-            for index in pending:
-                attempts[index] += 1
-                futures[index] = executor.submit(worker,
-                                                 shards[index].payload)
-            for position, index in enumerate(pending):
-                try:
-                    value = futures[index].result(timeout=self.shard_timeout)
-                except (TimeoutError, _FuturesTimeout):
-                    # (distinct classes before Python 3.11, an alias after)
-                    self._settle(index, shards, attempts, outcomes, requeue,
-                                 f"timed out after {self.shard_timeout:g}s")
-                    remainder = pending[position + 1:]
-                    self._drain(remainder, shards, futures, attempts,
-                                outcomes, requeue)
-                    self._kill(executor)
-                    torn_down = True
-                    break
-                except BrokenProcessPool:
-                    self._settle(index, shards, attempts, outcomes, requeue,
-                                 "worker process crashed")
-                    remainder = pending[position + 1:]
-                    self._drain(remainder, shards, futures, attempts,
-                                outcomes, requeue)
-                    self._kill(executor)
-                    torn_down = True
-                    break
-                except Exception as exc:
-                    # The worker raised: the pool is still healthy.
-                    self._settle(index, shards, attempts, outcomes, requeue,
-                                 _describe(exc))
-                else:
-                    outcomes[index] = ShardOutcome(
-                        key=shards[index].key, value=value,
-                        attempts=attempts[index])
-        finally:
-            if not torn_down:
-                executor.shutdown(wait=True)
-        return requeue
+    def _dispatch(self, pool: _WorkerPool, worker_shards: list[Shard],
+                  pending: deque, attempts: list[int],
+                  outcomes: dict[int, ShardOutcome]) -> None:
+        """Hand pending shards to every ready idle worker."""
+        for worker in pool.idle_workers():
+            if not pending:
+                break
+            index = pending.popleft()
+            attempts[index] += 1
+            try:
+                worker.dispatch(index, worker_shards[index].payload,
+                                self._budget(worker_shards[index]))
+            except Exception as exc:
+                # The payload didn't pickle — that is this shard's fault,
+                # not the worker's; the worker stays idle and alive.
+                self._settle(index, worker_shards, attempts, outcomes,
+                             pending, describe_error(exc))
+
+    def _budget(self, shard: Shard) -> float | None:
+        return (shard.timeout if shard.timeout is not None
+                else self.shard_timeout)
 
     def _settle(self, index: int, shards, attempts: list[int],
-                outcomes: dict[int, ShardOutcome], requeue: list[int],
+                outcomes: dict[int, ShardOutcome], pending: deque,
                 error: str) -> None:
         """Retry the failed shard if it has budget left, else degrade it."""
         if attempts[index] <= self.retries:
-            requeue.append(index)
+            pending.append(index)
         else:
             outcomes[index] = ShardOutcome(
                 key=shards[index].key, attempts=attempts[index], error=error)
 
-    def _drain(self, remainder: list[int], shards, futures,
-               attempts: list[int], outcomes: dict[int, ShardOutcome],
-               requeue: list[int]) -> None:
-        """Harvest already-finished futures after a pool failure; requeue
-        the rest without charging them an attempt."""
-        for index in remainder:
-            future = futures[index]
-            if future.done():
-                try:
-                    value = future.result(timeout=0)
-                except BrokenProcessPool:
-                    attempts[index] -= 1
-                    requeue.append(index)
-                except Exception as exc:
-                    self._settle(index, shards, attempts, outcomes, requeue,
-                                 _describe(exc))
-                else:
-                    outcomes[index] = ShardOutcome(
-                        key=shards[index].key, value=value,
-                        attempts=attempts[index])
-            else:
-                attempts[index] -= 1
-                requeue.append(index)
-
-    @staticmethod
-    def _kill(executor: ProcessPoolExecutor) -> None:
-        """Tear down a pool whose worker is wedged or dead.
-
-        ``shutdown`` alone would block on (or leak) a hung worker, so the
-        pool's processes are terminated first.  ``_processes`` is private
-        but stable across CPython 3.8–3.13; if it ever disappears the
-        shutdown below still prevents new work from being scheduled.
-        """
-        for process in list(getattr(executor, "_processes", {}).values()):
-            try:
-                process.terminate()
-            except Exception:
-                pass
-        executor.shutdown(wait=False, cancel_futures=True)
-
 
 def run_sharded(worker: Callable[[Any], Any], shards: Sequence[Shard],
                 workers: int = 1, shard_timeout: float | None = None,
-                retries: int = 1) -> list[ShardOutcome]:
+                retries: int = 1,
+                initializer: Callable[..., None] | None = None,
+                initargs: Sequence[Any] = ()) -> list[ShardOutcome]:
     """One-call convenience wrapper over :class:`ShardRunner`."""
     return ShardRunner(workers=workers, shard_timeout=shard_timeout,
-                       retries=retries).map(worker, shards)
+                       retries=retries, initializer=initializer,
+                       initargs=initargs).map(worker, shards)
 
 
-def _describe(exc: BaseException) -> str:
+def describe_error(exc: BaseException) -> str:
     """One-line error description with the innermost frame for context."""
     frames = traceback.extract_tb(exc.__traceback__)
     location = f" at {frames[-1].filename}:{frames[-1].lineno}" if frames else ""

@@ -42,6 +42,31 @@ class TestSweep:
         assert best.speedup == max(
             p.speedup for p in sweep.points if p.kernel == "nn")
 
+    def test_best_config_excludes_degraded_placeholders(self):
+        # The degraded placeholder carries speedup=1.0 — it must not beat
+        # a genuine sub-1.0x measurement or a cpu-only point.
+        result = SweepResult(points=[
+            SweepPoint(kernel="nn", config_name="M-64", accelerated=True,
+                       speedup=0.8, cycles=100.0),
+            SweepPoint(kernel="nn", config_name="M-128", accelerated=False,
+                       speedup=1.0, cycles=0.0,
+                       reason="shard failed: worker process crashed"),
+        ])
+        assert result.best_config("nn").config_name == "M-64"
+
+    def test_best_config_all_degraded_raises(self):
+        result = SweepResult(points=[
+            SweepPoint(kernel="nn", config_name="M-64", accelerated=False,
+                       speedup=1.0, cycles=0.0,
+                       reason="shard failed: timed out after 5s"),
+        ])
+        with pytest.raises(KeyError):
+            result.best_config("nn")
+
+    def test_best_config_unknown_kernel_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.best_config("quicksort")
+
     def test_render_matrix(self, sweep):
         text = sweep.render("speedup")
         assert "M-64" in text and "M-128" in text
@@ -67,6 +92,25 @@ class TestParallelSweep:
         assert pooled.points == sweep.points
         assert pooled.cache_stats == sweep.cache_stats
         assert pooled.render("speedup") == sweep.render("speedup")
+
+    def test_chunked_dispatch_matches_serial(self, sweep):
+        # Every chunk geometry — single-point shards and multi-point
+        # chunks alike — must merge to the identical grid.
+        for chunk in (1, 2):
+            pooled = sweep_backends(["nn", "srad"], [M_64, M_128],
+                                    iterations=96, workers=2, chunk=chunk)
+            assert pooled.points == sweep.points, f"chunk={chunk}"
+            assert pooled.cache_stats == sweep.cache_stats, f"chunk={chunk}"
+
+    def test_serial_chunk_size_is_irrelevant(self, sweep):
+        resized = sweep_backends(["nn", "srad"], [M_64, M_128],
+                                 iterations=96, workers=1, chunk=1)
+        assert resized.points == sweep.points
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError):
+            sweep_backends(["nn"], [M_64], iterations=96, workers=2,
+                           chunk=0)
 
 
 class TestDegradedRendering:

@@ -74,6 +74,21 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["run", "nn", "srad", "--repeat", "2"])
 
+    def test_run_single_kernel_with_workers_uses_pool(self, capsys):
+        # Regression: one kernel with workers > 1 must take the pooled
+        # path so --shard-timeout enforcement and process isolation hold.
+        assert main(["run", "nn", "--workers", "2", "--shard-timeout",
+                     "300", "--iterations", "96"]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert "nn" in out and "yes" in out
+
+    def test_run_single_kernel_workers_rejects_profile_and_repeat(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nn", "--workers", "2", "--profile"])
+        with pytest.raises(SystemExit):
+            main(["run", "nn", "--workers", "2", "--repeat", "2"])
+
     def test_run_serial_flag(self, capsys):
         assert main(["run", "nn", "--iterations", "96", "--serial"]) == 0
         out = capsys.readouterr().out
