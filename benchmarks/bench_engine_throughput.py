@@ -5,10 +5,14 @@ the dataflow engine retires fabric iterations now that execution runs off a
 compiled :class:`repro.accel.plan.ExecutionPlan` instead of re-interpreting
 the configuration every iteration.  It reports, per kernel:
 
-* iterations/second on the plan-compiled path (the default);
+* iterations/second on the batched path (``batch=True`` — vectorized
+  blocks of iterations, ``repro.accel.batch``), where the plan's
+  capability analysis accepts the kernel;
+* iterations/second on the scalar plan-compiled path (``batch=False``);
 * iterations/second on the reference interpreter path (``compiled=False``);
-* the resulting speedup (the two paths are bit-identical — see
-  ``tests/accel/test_plan_equivalence.py``).
+* the batched-over-scalar and scalar-over-interpreter speedups (all three
+  paths are bit-identical — see ``tests/accel/test_plan_equivalence.py``
+  and ``tests/accel/test_batch_equivalence.py``).
 
 It also times the full Fig. 11 pipeline end-to-end and records it against
 the pre-plan baseline wall clock, which is the headline number for this
@@ -17,6 +21,7 @@ optimization round.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 
 from repro.accel import DataflowEngine, M_128
@@ -31,7 +36,12 @@ from _common import ITERATIONS, emit, run_once
 #: collection and CPU-model runs).
 PRE_PLAN_FIG11_SECONDS = 9.70
 
-KERNELS = ("hotspot", "cfd", "kmeans", "nn")
+KERNELS = ("hotspot", "cfd", "kmeans", "nn", "backprop", "pathfinder")
+
+#: Kernels whose plan the batched capability analysis must accept at M-128;
+#: a silent fallback to the scalar loop here is a regression (kmeans is the
+#: intended counter-example: its fan-out routes two NoC slots onto one row).
+BATCHABLE = {"hotspot", "cfd", "nn", "backprop", "pathfinder"}
 
 _REPORT: list[str] = []
 
@@ -54,23 +64,26 @@ def _offload_setup(name: str):
 
 
 def _iterations_per_second(engine: DataflowEngine, options,
-                           entry_state, repeats: int = 3) -> float:
+                           entry_state, repeats: int = 3):
     best = float("inf")
     iterations = 0
+    drive = ""
     for _ in range(repeats):
         state = entry_state()
         start = time.perf_counter()
         run = engine.run(state, options)
         best = min(best, time.perf_counter() - start)
         iterations = run.iterations
-    return iterations / best
+        drive = run.drive_path
+    return iterations / best, drive
 
 
 def test_engine_throughput(benchmark):
     rows = ["engine throughput (fabric iterations / host second, M-128):",
-            f"  {'kernel':<10} {'compiled':>12} {'interpreted':>12} "
-            f"{'speedup':>8}"]
-    ratios = []
+            f"  {'kernel':<10} {'batched':>10} {'compiled':>10} "
+            f"{'interpreted':>12} {'bat/com':>8} {'com/int':>8}  drive"]
+    scalar_ratios = []
+    batch_ratios = []
     prepared = {name: _offload_setup(name) for name in KERNELS}
 
     def measured():
@@ -79,22 +92,33 @@ def test_engine_throughput(benchmark):
             fast = DataflowEngine(program, interconnect=interconnect)
             slow = DataflowEngine(program, interconnect=interconnect,
                                   compiled=False)
-            results[name] = (
-                _iterations_per_second(fast, options, entry),
-                _iterations_per_second(slow, options, entry),
-            )
+            batched_ips, drive = _iterations_per_second(
+                fast, dataclasses.replace(options, batch=True), entry)
+            scalar_ips, _ = _iterations_per_second(
+                fast, dataclasses.replace(options, batch=False), entry)
+            interp_ips, _ = _iterations_per_second(slow, options, entry)
+            results[name] = (batched_ips, scalar_ips, interp_ips, drive)
         return results
 
     results = run_once(benchmark, measured)
-    for name, (fast_ips, slow_ips) in results.items():
-        ratio = fast_ips / slow_ips
-        ratios.append(ratio)
-        rows.append(f"  {name:<10} {fast_ips:>12.0f} {slow_ips:>12.0f} "
-                    f"{ratio:>7.2f}x")
+    for name, (batched_ips, scalar_ips, interp_ips, drive) in results.items():
+        batch_ratio = batched_ips / scalar_ips
+        scalar_ratio = scalar_ips / interp_ips
+        rows.append(f"  {name:<10} {batched_ips:>10.0f} {scalar_ips:>10.0f} "
+                    f"{interp_ips:>12.0f} {batch_ratio:>7.2f}x "
+                    f"{scalar_ratio:>7.2f}x  {drive}")
+        scalar_ratios.append(scalar_ratio)
+        if name in BATCHABLE:
+            # A capability-analysis regression must fail loudly, not just
+            # show up as a slower row.
+            assert drive == "batched", (name, drive)
+            batch_ratios.append(batch_ratio)
     _REPORT.extend(rows)
 
-    # The compiled path must not lose to the interpreter on any kernel.
-    assert all(ratio > 1.0 for ratio in ratios), ratios
+    # The compiled path must not lose to the interpreter on any kernel,
+    # and the batched path must deliver >=3x on at least 3 kernels.
+    assert all(ratio > 1.0 for ratio in scalar_ratios), scalar_ratios
+    assert sum(ratio >= 3.0 for ratio in batch_ratios) >= 3, batch_ratios
 
 
 def test_fig11_wall_clock(benchmark):

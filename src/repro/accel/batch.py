@@ -1,0 +1,1023 @@
+"""Batched execution: advance a block of fabric iterations as numpy vectors.
+
+The scalar compiled loop (:meth:`DataflowEngine._drive_compiled`) walks every
+node of every iteration in Python.  For most kernels the dynamic behaviour
+per iteration is tiny — values change, but routing, latencies, guards, and
+the schedule are frozen in the :class:`~repro.accel.plan.ExecutionPlan` — so
+a block of B iterations can be advanced at once with (B,)-shaped vectors per
+node instead of B full Python sweeps.
+
+The contract is the same as the plan's: **bit-identical** to the interpreter
+on everything the batched path accepts.  That is only possible because of a
+few provable properties of the model:
+
+* **Float semantics.**  The scalar path computes every FP op as
+  ``_f32(op(float(a), float(b)))`` — float64 arithmetic rounded to binary32.
+  The batched path converts operands to float64 (exact for binary32 values
+  and for integers in the RV32 range), applies the same float64 ufunc, and
+  rounds with ``astype(float32)`` — the identical computation, including NaN
+  payload propagation and overflow-to-inf.  Loop-carried FP reductions
+  accumulate directly in float32, which equals the round-each-step scalar
+  chain by the innocuous-double-rounding theorem (binary64's 53-bit
+  significand exceeds 2·24+2 for add/sub; binary32 products are exact in
+  binary64).
+* **NoC waits are provably zero** whenever a source row carries at most one
+  NoC-routed operand slot: under barrier execution the next packet on a row
+  ring never departs before the channel freed (``depart' >= end >= arrival
+  = grant + cycles >= free_at`` since edge latencies are >= 1).  Plans with
+  two or more NoC slots on one row fall back to the scalar loop.
+* **The LSQ is inert** when no store in a block byte-overlaps a
+  same-or-later-iteration load.  A vectorized alias check proves that per
+  block from the concrete addresses; a violating block *bails* untouched and
+  the engine finishes the run on the scalar loop (state is continuous:
+  nothing is mutated before the check passes).
+* **Timing is max-plus linear.**  Completion times decompose over the
+  sources {iteration start} ∪ {memory completions}: per node a static
+  weight row per source is computed vectorially (phase T), only the memory
+  grants/AMAT walk iterations sequentially (phase B), and per-node counter
+  sums fold exactly because every timing quantity is an integer-valued
+  float64 (any summation order is exact below 2**53).
+
+Capability analysis (:func:`compile_batch`) decides statically whether a
+plan qualifies; :attr:`ExecutionPlan.batchable` exposes the verdict with a
+machine-readable reason so a fallback is visible in profiles instead of
+just "it got slower".
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the toolchain ships numpy
+    np = None
+
+from ..isa import Opcode
+from ..isa.registers import RegFile
+from .plan import (
+    _LOAD_FORMATS,
+    K_CONST,
+    K_LOOP,
+    K_NODE,
+    N_CONTROL,
+    N_MEMORY,
+)
+
+__all__ = ["BatchCapability", "BatchProgram", "compile_batch",
+           "drive_batched", "DEFAULT_BLOCK", "BLOCK_ENV"]
+
+#: Default iterations per batched block.
+DEFAULT_BLOCK = 256
+#: Environment override for the block size (``ExecutionOptions.batch_block``
+#: wins when nonzero).
+BLOCK_ENV = "REPRO_BATCH_BLOCK"
+#: Hard ceiling keeping closed-form index arithmetic within int64.
+MAX_BLOCK = 1 << 20
+
+_M32 = 0xFFFFFFFF
+_SIGN32 = 0x80000000
+_NEG = float("-inf")
+
+# Node result dtypes.
+D_INT = 0   # int64 lanes holding signed-32 values
+D_FP = 1    # float32 lanes
+
+# Per-slot edge event cadences (for counter folding).
+EV_ALWAYS = 0    # fires every iteration
+EV_LOOP = 1      # every iteration except the global first (loop-carried)
+EV_FB = 2        # fires when the owning node is predicated off
+EV_FB_LOOP = 3   # EV_FB, minus a global-first-iteration off (const, no edge)
+
+
+@dataclass(frozen=True)
+class BatchCapability:
+    """Verdict of the capability analysis for one plan."""
+
+    supported: bool
+    #: Machine-readable reason for a fallback ("" when supported).
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.supported
+
+
+def _vts(a):
+    """Vector ``_ts``: reinterpret the low 32 bits as signed (int64 lanes)."""
+    return ((a & _M32) ^ _SIGN32) - _SIGN32
+
+
+def _vtu(a):
+    """Vector ``_tu``: low 32 bits as unsigned (int64 lanes)."""
+    return a & _M32
+
+
+def _f64(a):
+    return a.astype(np.float64)
+
+
+def _r32(a):
+    """Round float64 lanes to binary32 — the vector ``_f32`` (overflow goes
+    to ±inf under the suppressed-errstate astype, matching saturation)."""
+    return a.astype(np.float32)
+
+
+# -- vector evaluators ---------------------------------------------------------
+
+def _compile_compute(instr, evaluate):
+    """(dtype, req1, req2, tag, payload) for one compute instruction.
+
+    ``tag`` is "const" (payload: the constant value) or "fn" (payload: a
+    ``(a_vec, b_vec) -> vec`` ufunc chain).  Returns None when the opcode
+    has no exact vector form.  Requirement codes: "i" = operand lanes must
+    be int64 (the scalar path applies ``int()``), "x" = any dtype (the
+    scalar path applies ``float()``, exact from both lane types), None =
+    operand value unused.
+    """
+    op = instr.opcode
+    imm = instr.imm
+    if op in (Opcode.NOP, Opcode.LUI, Opcode.AUIPC):
+        return (D_INT, None, None, "const", evaluate(0, 0))
+
+    fn = _INT_BIN_VEC.get(op)
+    if fn is not None:
+        return (D_INT, "i", "i", "fn", fn)
+    fn = _INT_IMM_VEC.get(op)
+    if fn is not None:
+        return (D_INT, "i", None, "fn", fn(imm))
+    fn = _FP_BIN_VEC.get(op)
+    if fn is not None:
+        return (D_FP, "x", "x", "fn", fn)
+    fn = _FP_CMP_VEC.get(op)
+    if fn is not None:
+        return (D_INT, "x", "x", "fn", fn)
+    if op is Opcode.FSQRT_S:
+        return (D_FP, "x", None, "fn", _vec_fsqrt)
+    if op is Opcode.FCVT_S_W:
+        return (D_FP, "i", None, "fn",
+                lambda a, b: a.astype(np.float32))
+    if op is Opcode.FCVT_S_WU:
+        return (D_FP, "i", None, "fn",
+                lambda a, b: _vtu(a).astype(np.float32))
+    if op is Opcode.FMV_W_X:
+        return (D_FP, "i", None, "fn",
+                lambda a, b: a.astype(np.int32).view(np.float32))
+    if op is Opcode.FMV_X_W:
+        return (D_INT, "x", None, "fn",
+                lambda a, b: a.astype(np.float32).view(np.int32)
+                              .astype(np.int64))
+    # FCVT_W_S / FCVT_WU_S truncate (and raise on NaN) via Python int();
+    # the RV64 W-forms and MULH/DIV/REM families have no exact vector
+    # counterpart here; raiser nodes (system ops) must fault like the
+    # interpreter.  All fall back to the scalar loop.
+    return None
+
+
+def _vec_fdiv(a, b):
+    a64, b64 = _f64(a), _f64(b)
+    quotient = a64 / b64
+    # Scalar: a / b if b != 0.0 else copysign(inf, a) if a else nan —
+    # NaN dividends are truthy (copysign keeps their sign bit), ±0.0 is not.
+    by_zero = np.where(a64 != 0.0, np.copysign(np.inf, a64), np.nan)
+    return _r32(np.where(b64 != 0.0, quotient, by_zero))
+
+
+def _vec_fsqrt(a, b):
+    a64 = _f64(a)
+    root = np.sqrt(a64)
+    # Negative (and NaN) inputs produce the canonical NaN, like the scalar
+    # path's float("nan") — np.sqrt's payload-propagating NaN must not leak.
+    return _r32(np.where(a64 >= 0.0, root, np.nan))
+
+
+if np is not None:
+    _INT_BIN_VEC = {
+        Opcode.ADD: lambda a, b: _vts(a + b),
+        Opcode.SUB: lambda a, b: _vts(a - b),
+        Opcode.SLL: lambda a, b: _vts(a << (b & 31)),
+        Opcode.SLT: lambda a, b: (a < b).astype(np.int64),
+        Opcode.SLTU: lambda a, b: (_vtu(a) < _vtu(b)).astype(np.int64),
+        Opcode.XOR: lambda a, b: _vts(a ^ b),
+        Opcode.SRL: lambda a, b: _vts(_vtu(a) >> (b & 31)),
+        Opcode.SRA: lambda a, b: a >> (b & 31),
+        Opcode.OR: lambda a, b: _vts(a | b),
+        Opcode.AND: lambda a, b: _vts(a & b),
+        Opcode.MUL: lambda a, b: _vts(a * b),
+    }
+    _INT_IMM_VEC = {
+        Opcode.ADDI: lambda imm: lambda a, b: _vts(a + imm),
+        Opcode.SLTI: lambda imm: lambda a, b: (a < imm).astype(np.int64),
+        Opcode.SLTIU: lambda imm: (
+            lambda iu: lambda a, b: (_vtu(a) < iu).astype(np.int64)
+        )(imm & _M32),
+        Opcode.XORI: lambda imm: lambda a, b: _vts(a ^ imm),
+        Opcode.ORI: lambda imm: lambda a, b: _vts(a | imm),
+        Opcode.ANDI: lambda imm: lambda a, b: _vts(a & imm),
+        Opcode.SLLI: lambda imm: (
+            lambda sh: lambda a, b: _vts(a << sh))(imm & 31),
+        Opcode.SRLI: lambda imm: (
+            lambda sh: lambda a, b: _vts(_vtu(a) >> sh))(imm & 31),
+        Opcode.SRAI: lambda imm: (
+            lambda sh: lambda a, b: a >> sh)(imm & 31),
+    }
+    _FP_BIN_VEC = {
+        Opcode.FADD_S: lambda a, b: _r32(_f64(a) + _f64(b)),
+        Opcode.FSUB_S: lambda a, b: _r32(_f64(a) - _f64(b)),
+        Opcode.FMUL_S: lambda a, b: _r32(_f64(a) * _f64(b)),
+        Opcode.FDIV_S: _vec_fdiv,
+        # Python min/max return b only on a strict comparison win, so NaNs
+        # select a — np.where with the same strict predicate matches.
+        Opcode.FMIN_S: lambda a, b: (
+            lambda a64, b64: _r32(np.where(b64 < a64, b64, a64))
+        )(_f64(a), _f64(b)),
+        Opcode.FMAX_S: lambda a, b: (
+            lambda a64, b64: _r32(np.where(b64 > a64, b64, a64))
+        )(_f64(a), _f64(b)),
+        Opcode.FSGNJ_S: lambda a, b: _r32(np.copysign(np.abs(_f64(a)),
+                                                      _f64(b))),
+        Opcode.FSGNJN_S: lambda a, b: _r32(np.copysign(np.abs(_f64(a)),
+                                                       -_f64(b))),
+        # Scalar: a if b >= 0 else -a (NaN b takes the negate branch).
+        Opcode.FSGNJX_S: lambda a, b: (
+            lambda a64, b64: _r32(np.where(b64 >= 0.0, a64, -a64))
+        )(_f64(a), _f64(b)),
+    }
+    _FP_CMP_VEC = {
+        Opcode.FEQ_S: lambda a, b: (_f64(a) == _f64(b)).astype(np.int64),
+        Opcode.FLT_S: lambda a, b: (_f64(a) < _f64(b)).astype(np.int64),
+        Opcode.FLE_S: lambda a, b: (_f64(a) <= _f64(b)).astype(np.int64),
+    }
+    _BRANCH_VEC = {
+        Opcode.BEQ: lambda a, b: a == b,
+        Opcode.BNE: lambda a, b: a != b,
+        Opcode.BLT: lambda a, b: a < b,
+        Opcode.BGE: lambda a, b: a >= b,
+        Opcode.BLTU: lambda a, b: _vtu(a) < _vtu(b),
+        Opcode.BGEU: lambda a, b: _vtu(a) >= _vtu(b),
+    }
+    #: Self-loop reductions with an exact closed/scan form, keyed by opcode.
+    _SCAN_OPS = {
+        Opcode.ADDI: "addi",
+        Opcode.ADD: "iadd",
+        Opcode.SUB: "isub",
+        Opcode.FADD_S: "fadd",
+        Opcode.FSUB_S: "fsub",
+        Opcode.FMUL_S: "fmul",
+    }
+else:  # pragma: no cover
+    _INT_BIN_VEC = _INT_IMM_VEC = _FP_BIN_VEC = _FP_CMP_VEC = {}
+    _BRANCH_VEC = _SCAN_OPS = {}
+
+
+class _BatchNode:
+    """Per-node batched execution recipe (compiled once per plan)."""
+
+    __slots__ = ("plan_node", "i", "kind", "dtype", "np_dtype", "guard",
+                 "tag", "fn", "scan", "scan_imm", "opcode", "mem_sign",
+                 "req1", "req2")
+
+    def __init__(self, plan_node, i):
+        self.plan_node = plan_node
+        self.i = i
+        self.kind = plan_node.kind
+        self.dtype = D_INT
+        self.np_dtype = None
+        self.guard = -1          # active guard branch id, -1 when inert
+        self.tag = ""            # "const"/"fn"/"cond"/"jump"/"mem"/"scan"
+        self.fn = None           # payload per tag
+        self.scan = ""           # _SCAN_OPS tag for scan nodes
+        self.scan_imm = 0        # immediate of an "addi" closed-form scan
+        self.opcode = None
+        self.mem_sign = 0        # sign-extension bit for signed loads
+        self.req1 = None         # operand dtype requirements ("i"/"x"/None)
+        self.req2 = None
+
+
+class BatchProgram:
+    """A plan compiled for batched execution (or its fallback verdict)."""
+
+    __slots__ = ("plan", "capability", "nodes", "order", "mem_ids",
+                 "has_store", "slot_events", "n_sources")
+
+    def __init__(self, plan, capability, nodes=None, order=None,
+                 mem_ids=None, has_store=False, slot_events=None):
+        self.plan = plan
+        self.capability = capability
+        self.nodes = nodes or []
+        #: Topological schedule over same-iteration + loop-carried edges.
+        self.order = order or []
+        #: Memory node ids in program order (their completions are the
+        #: dynamic timing sources alongside the iteration start).
+        self.mem_ids = mem_ids or []
+        self.has_store = has_store
+        #: (edge, cadence, owner_node_id) per operand slot, for exact
+        #: counter folds.
+        self.slot_events = slot_events or []
+        self.n_sources = 1 + len(self.mem_ids)
+
+
+def _operand_dtype(op, dtypes):
+    """Lane dtype an operand resolves to (K_CONST by register file)."""
+    if op.kind == K_CONST:
+        reg = op.register
+        return D_FP if (reg is not None and reg.file is RegFile.FP) else D_INT
+    return dtypes[op.src_id]
+
+
+def _wildcard_const(op):
+    """A none/zero constant is exact in either lane dtype."""
+    return op.kind == K_CONST and op.register is None
+
+
+def compile_batch(plan) -> BatchProgram:
+    """Capability-analyze and compile a plan for batched execution."""
+    verdict = _compile(plan)
+    if isinstance(verdict, BatchProgram):
+        return verdict
+    return BatchProgram(plan, BatchCapability(False, verdict))
+
+
+def _compile(plan):
+    """Returns a BatchProgram, or a fallback-reason string."""
+    if np is None:
+        return "numpy unavailable"
+    if plan.loop_branch_id is None:
+        return "no loop branch (single-shot region)"
+    if plan.config.xlen != 32:
+        return "xlen 64"
+    program_nodes = plan.program.nodes
+    n = plan.n_nodes
+
+    nodes: list[_BatchNode] = []
+    dtypes: list[int] = []
+    # Pass 1: per-node recipe + result dtype (from the opcode alone).
+    for i, pnode in enumerate(plan.nodes):
+        instr = program_nodes[i].instruction
+        rec = _BatchNode(pnode, i)
+        rec.opcode = instr.opcode
+        if pnode.kind == N_MEMORY:
+            mem = pnode.memory
+            if mem.size > 4:
+                return f"unsupported opcode {instr.opcode.name}"
+            if pnode.guard_branch >= 0:
+                return "guarded memory access"
+            rec.tag = "mem"
+            rec.req1 = "i"  # address base goes through int()
+            if mem.is_load:
+                size, signed = _LOAD_FORMATS[instr.opcode]
+                if instr.opcode is Opcode.FLW:
+                    rec.dtype = D_FP
+                elif signed:
+                    rec.mem_sign = 1 << (size * 8 - 1)
+            else:
+                rec.req2 = "x" if instr.opcode is Opcode.FSW else "i"
+        elif pnode.kind == N_CONTROL:
+            cond = _BRANCH_VEC.get(instr.opcode)
+            if cond is not None:
+                rec.tag, rec.fn = "cond", cond
+                rec.req1 = rec.req2 = "i"  # branch conds compare int()s
+            elif instr.is_jump:
+                rec.tag = "jump"
+            else:
+                return f"unsupported opcode {instr.opcode.name}"
+        else:
+            compiled = _compile_compute(instr, pnode.evaluate)
+            if compiled is None:
+                return f"unsupported opcode {instr.opcode.name}"
+            rec.dtype, rec.req1, rec.req2, rec.tag, rec.fn = compiled
+            if rec.tag == "fn" and instr.opcode is Opcode.ADDI:
+                rec.scan_imm = instr.imm
+        nodes.append(rec)
+        dtypes.append(rec.dtype)
+
+    for rec in nodes:
+        rec.np_dtype = np.float32 if rec.dtype == D_FP else np.int64
+        guard = rec.plan_node.guard_branch
+        # A guard at or after the node reads this iteration's still-False
+        # branch state — statically never predicated off.
+        if 0 <= guard < rec.i:
+            rec.guard = guard
+
+    # Pass 2: loop-carried self-edges must be recognizable reductions; all
+    # other operands are checked for exact dtype agreement with the scalar
+    # path's int()/float() conversions.
+    for rec in nodes:
+        pnode = rec.plan_node
+        i = rec.i
+        operands = [(pnode.src1, 1), (pnode.src2, 2)]
+        if rec.guard >= 0:
+            operands.append((pnode.fallback, 0))
+        self_loop = (pnode.src1.kind == K_LOOP and pnode.src1.src_id == i)
+        for op, slot in operands:
+            if op.kind == K_LOOP and op.src_id == i and not (
+                    slot == 1 and self_loop):
+                return "unsupported loop-carried reduction"
+        if self_loop:
+            scan = _SCAN_OPS.get(rec.opcode) if rec.tag == "fn" else None
+            if scan is None or rec.guard >= 0 or pnode.guard_branch >= 0:
+                return "unsupported loop-carried reduction"
+            seed = pnode.src1.register
+            if seed is not None and (
+                    (seed.file is RegFile.FP) != (rec.dtype == D_FP)):
+                return "loop-carried seed dtype mismatch"
+            if scan == "addi":
+                if abs(rec.scan_imm) >= 1 << 31:
+                    return "addi reduction immediate too wide"
+            else:
+                x_dtype = _operand_dtype(pnode.src2, dtypes)
+                if x_dtype != rec.dtype and not _wildcard_const(pnode.src2):
+                    return "operand dtype mismatch"
+            rec.scan = scan
+            continue
+
+        # The scalar path converts operands with int()/float() — the lane
+        # dtype must make those conversions the identity.
+        for op, req in ((pnode.src1, rec.req1), (pnode.src2, rec.req2)):
+            if req == "i" and _operand_dtype(op, dtypes) != D_INT:
+                return "operand dtype mismatch"
+        # Loop-carried seeds must be exact in the producer's lane dtype.
+        for op, _ in operands:
+            if op.kind == K_LOOP:
+                seed = op.register
+                if seed is not None and (
+                        (seed.file is RegFile.FP)
+                        != (dtypes[op.src_id] == D_FP)):
+                    return "loop-carried seed dtype mismatch"
+        # Predicated-off lanes mix the fallback into the result vector.
+        if rec.guard >= 0 and not _wildcard_const(pnode.fallback):
+            if _operand_dtype(pnode.fallback, dtypes) != rec.dtype:
+                return "guard fallback dtype mismatch"
+
+    # Pass 3: the combined dependence graph (same-iteration K_NODE edges,
+    # non-self K_LOOP edges, guard edges) must be acyclic once recognized
+    # self-loop reductions are removed — coupled recurrences have no
+    # per-node scan form.
+    succs: list[list[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for rec in nodes:
+        pnode = rec.plan_node
+        preds = set()
+        for op in (pnode.src1, pnode.src2,
+                   pnode.fallback if rec.guard >= 0 else None):
+            if op is not None and op.kind in (K_NODE, K_LOOP):
+                if op.src_id != rec.i:
+                    preds.add(op.src_id)
+        if rec.guard >= 0:
+            preds.add(rec.guard)
+        for p in preds:
+            succs[p].append(rec.i)
+            indeg[rec.i] += 1
+    order: list[int] = []
+    ready = [i for i in range(n) if indeg[i] == 0]
+    while ready:
+        i = min(ready)  # deterministic schedule
+        ready.remove(i)
+        order.append(i)
+        for s in succs[i]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                ready.append(s)
+    if len(order) != n:
+        return "coupled loop-carried recurrence"
+
+    # Pass 4: with stores present, no memory address may transitively
+    # depend on a load — the per-block alias check reads all addresses
+    # before any store commits, which is only sound when addresses cannot
+    # change under a scalar replay of the same block.
+    mem_ids = [rec.i for rec in nodes if rec.kind == N_MEMORY]
+    has_store = any(nodes[i].plan_node.is_store for i in mem_ids)
+    if has_store:
+        preds_of: list[set] = [set() for _ in range(n)]
+        for rec in nodes:
+            pnode = rec.plan_node
+            for op in (pnode.src1, pnode.src2,
+                       pnode.fallback if rec.guard >= 0 else None):
+                if op is not None and op.kind in (K_NODE, K_LOOP):
+                    preds_of[rec.i].add(op.src_id)
+            if rec.guard >= 0:
+                preds_of[rec.i].add(rec.guard)
+        for i in mem_ids:
+            cone: set[int] = set()
+            src1 = nodes[i].plan_node.src1
+            stack = [src1.src_id] if src1.kind in (K_NODE, K_LOOP) else []
+            while stack:
+                node_id = stack.pop()
+                if node_id in cone:
+                    continue
+                cone.add(node_id)
+                if nodes[node_id].kind == N_MEMORY:
+                    return "load-dependent store addressing"
+                stack.extend(preds_of[node_id])
+
+    # Pass 5: at most one NoC-routed operand slot per source row, so ring
+    # waits are provably zero and channel state needs no tracking.
+    noc_rows: dict[int, int] = {}
+    for edge in plan.edge_slots:
+        if not edge.is_local:
+            noc_rows[edge.src_row] = noc_rows.get(edge.src_row, 0) + 1
+            if noc_rows[edge.src_row] > 1:
+                return "NoC ring-channel contention"
+
+    # Per-slot event cadences for the counter fold.
+    slot_events = []
+    for rec in nodes:
+        pnode = rec.plan_node
+        for op in (pnode.src1, pnode.src2):
+            if op.edge is not None:
+                slot_events.append(
+                    (op.edge, EV_LOOP if op.kind == K_LOOP else EV_ALWAYS,
+                     rec.i))
+        if rec.guard >= 0 and pnode.fallback.edge is not None:
+            slot_events.append(
+                (pnode.fallback.edge,
+                 EV_FB_LOOP if pnode.fallback.kind == K_LOOP else EV_FB,
+                 rec.i))
+
+    return BatchProgram(plan, BatchCapability(True), nodes, order, mem_ids,
+                        has_store, slot_events)
+
+
+# -- block driver --------------------------------------------------------------
+
+def resolve_block(options) -> int:
+    """Iterations per block: option knob, then env, then the default."""
+    block = options.batch_block
+    if not block:
+        try:
+            block = int(os.environ.get(BLOCK_ENV) or 0)
+        except ValueError:
+            block = 0
+    if not block:
+        block = DEFAULT_BLOCK
+    return max(1, min(block, MAX_BLOCK))
+
+
+def _alias_hazard(load_streams, store_streams):
+    """True when any store byte-overlaps a load of the same iteration that
+    follows it in program order, or of any later iteration in the block."""
+    for s_addr, s_size, s_id in store_streams:
+        s_lo = int(s_addr.min())
+        s_hi = int(s_addr.max()) + s_size
+        for l_addr, l_size, l_id in load_streams:
+            if s_hi <= int(l_addr.min()) or int(l_addr.max()) + l_size <= s_lo:
+                continue
+            overlap = ((s_addr[None, :] < l_addr[:, None] + l_size)
+                       & (l_addr[:, None] < s_addr[None, :] + s_size))
+            # Rows index the load's iteration, columns the store's.
+            hazard = (np.tril(overlap) if s_id < l_id
+                      else np.tril(overlap, -1))
+            if hazard.any():
+                return True
+    return False
+
+
+def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
+                  latency, activity, options):
+    """Drive the loop in vectorized blocks.
+
+    Returns ``(iterations, iteration_latencies, bail)`` — ``bail`` is None
+    on completion, else ``(clock, prev_values, reason)`` for the scalar
+    loop to resume from (no state of the bailed block has been committed).
+    """
+    plan = bp.plan
+    nodes = bp.nodes
+    n = plan.n_nodes
+    order = bp.order
+    mem_ids = bp.mem_ids
+    n_sources = bp.n_sources
+    mem_source = {i: j + 1 for j, i in enumerate(mem_ids)}
+    loop_id = plan.loop_branch_id
+    const1, const2, const_fb = plan.bind_constants(reg_env)
+    block = resolve_block(options)
+    max_iterations = options.max_iterations
+    speculative = options.speculative_loads
+    store_issue = plan.store_issue
+    memory = state.memory
+    gather = getattr(memory, "gather", None)
+    access = hierarchy.access
+    ideal_latency = hierarchy.ideal_latency
+
+    # Run-level accumulators, folded into the counters once at the end.
+    node_total = [0.0] * n
+    slot_count = [0] * len(plan.edge_slots)
+    acc = {"int_ops": 0, "fp_ops": 0, "forwards": 0, "loads": 0,
+           "stores": 0, "local_hops": 0, "noc_hops": 0, "pe_busy": 0.0,
+           "control_events": 0}
+    iteration_latencies: list[float] = []
+    prev: list = [0] * n
+    clock = 0.0
+    iterations = 0
+    bail = None
+    finished = False
+
+    while not finished:
+        first = iterations == 0
+        nb = min(block, max_iterations - iterations)
+
+        # -- phase A: values -------------------------------------------------
+        with np.errstate(all="ignore"):
+            vals, offs, taken, mem_vecs = _phase_values(
+                bp, nb, first, prev, const1, const2, const_fb, memory,
+                gather)
+
+        loop_vec = taken[loop_id]
+        exited = not loop_vec.all()
+        if exited:
+            nb = int(np.argmin(loop_vec)) + 1
+            for i in range(n):
+                vals[i] = vals[i][:nb]
+                if offs[i] is not None:
+                    offs[i] = offs[i][:nb]
+            for rec_vec in mem_vecs.values():
+                rec_vec[0] = rec_vec[0][:nb]
+                if rec_vec[1] is not None:
+                    rec_vec[1] = rec_vec[1][:nb]
+
+        # -- alias check: prove the LSQ inert for this block -----------------
+        if bp.has_store:
+            load_streams = []
+            store_streams = []
+            for i in mem_ids:
+                mem_plan = nodes[i].plan_node.memory
+                addr = mem_vecs[i][0]
+                if mem_plan.is_load:
+                    load_streams.append((addr, mem_plan.size, i))
+                else:
+                    store_streams.append((addr, mem_plan.size, i))
+            if load_streams and _alias_hazard(load_streams, store_streams):
+                bail = (clock, list(prev) if iterations else None,
+                        f"memory aliasing at iteration {iterations}")
+                break
+
+        # -- phase T: static timing weights per source -----------------------
+        W, mem_ready, wend = _phase_timing(bp, nb, first, offs)
+
+        # -- phase B: sequential memory walk (grants, AMAT, stores) ----------
+        if mem_ids:
+            starts, ends, done_mat = _phase_memory(
+                bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
+                ports, access, ideal_latency, speculative, store_issue,
+                memory, options)
+            lat_vec = ends - starts
+        else:
+            lat_vec = wend[0]
+            starts = clock + np.concatenate(
+                ([0.0], np.cumsum(lat_vec[:-1])))
+            ends = starts + lat_vec
+            done_mat = None
+
+        # -- phase C: counter folds ------------------------------------------
+        T = np.empty((n_sources, nb))
+        T[0] = starts
+        for j in range(len(mem_ids)):
+            T[j + 1] = done_mat[j]
+        for i in range(n):
+            if nodes[i].kind == N_MEMORY:
+                total = (done_mat[mem_source[i] - 1] - starts).sum()
+            else:
+                total = ((W[i] + T).max(axis=0) - starts).sum()
+            node_total[i] += float(total)
+        _fold_events(bp, nb, first, offs, slot_count, acc)
+        iteration_latencies.extend(lat_vec.tolist())
+
+        # Commit the block.
+        clock = float(ends[-1])
+        iterations += nb
+        for i in range(n):
+            prev[i] = vals[i][nb - 1].item()
+        finished = exited or iterations >= max_iterations
+
+    if bail is None:
+        for register, node_id in plan.program.live_out.items():
+            if 0 <= node_id < n:
+                state.write(register, prev[node_id])
+
+    # Fold the accumulators (additive, like the scalar loop's bulk fold).
+    edge_total: dict = {}
+    edge_count: dict = {}
+    for edge in plan.edge_slots:
+        count = slot_count[edge.slot]
+        if count:
+            key = edge.key
+            edge_total[key] = edge_total.get(key, 0.0) + count * edge.cycles
+            edge_count[key] = edge_count.get(key, 0) + count
+    latency.bulk_record(node_total, iterations, edge_total, edge_count)
+    activity.int_ops += acc["int_ops"]
+    activity.fp_ops += acc["fp_ops"]
+    activity.forwards += acc["forwards"]
+    activity.loads += acc["loads"]
+    activity.stores += acc["stores"]
+    activity.local_hops += acc["local_hops"]
+    activity.noc_hops += acc["noc_hops"]
+    activity.pe_busy_cycles += acc["pe_busy"]
+    activity.control_events += acc["control_events"]
+    return iterations, iteration_latencies, bail
+
+
+def _phase_values(bp, nb, first, prev, const1, const2, const_fb, memory,
+                  gather):
+    """Compute every node's (nb,)-value vector in topological order."""
+    nodes = bp.nodes
+    n = len(nodes)
+    vals: list = [None] * n
+    offs: list = [None] * n
+    taken: list = [None] * n
+    mem_vecs: dict[int, list] = {}
+    int64 = np.int64
+
+    def operand(op, const_val, owner_dtype=None):
+        kind = op.kind
+        if kind == K_NODE:
+            return vals[op.src_id]
+        if kind == K_LOOP:
+            src = op.src_id
+            out = np.empty(nb, nodes[src].np_dtype)
+            out[0] = const_val if first else prev[src]
+            if nb > 1:
+                out[1:] = vals[src][:nb - 1]
+            return out
+        reg = op.register
+        if owner_dtype is not None and reg is None:
+            dtype = owner_dtype
+        else:
+            dtype = (np.float32 if reg is not None
+                     and reg.file is RegFile.FP else int64)
+        return np.full(nb, const_val, dtype)
+
+    for i in bp.order:
+        rec = nodes[i]
+        pnode = rec.plan_node
+        if rec.scan:
+            vals[i] = _run_scan(rec, nb, first, prev, const1, const2,
+                                operand)
+            continue
+        if rec.kind == N_MEMORY:
+            mem_plan = pnode.memory
+            base = operand(pnode.src1, const1[i])
+            addr = _vtu(base + mem_plan.imm)
+            if mem_plan.is_load:
+                addr_list = addr.tolist()
+                if gather is not None:
+                    raw = gather(addr_list, mem_plan.size)
+                else:
+                    load = memory.load
+                    size = mem_plan.size
+                    raw = [load(a, size) for a in addr_list]
+                if rec.dtype == D_FP:
+                    value = np.array(raw, np.uint32).view(np.float32)
+                else:
+                    value = np.array(raw, int64)
+                    if rec.mem_sign:
+                        sign = rec.mem_sign
+                        value = (value & (sign - 1)) - (value & sign)
+                vals[i] = value
+                mem_vecs[i] = [addr, None]
+            else:
+                data = operand(pnode.src2, const2[i])
+                if rec.opcode is Opcode.FSW:
+                    raw_vec = (data.astype(np.float32).view(np.uint32)
+                               .astype(int64))
+                else:
+                    raw_vec = data & ((1 << (mem_plan.size * 8)) - 1)
+                vals[i] = np.zeros(nb, int64)
+                mem_vecs[i] = [addr, raw_vec]
+            continue
+
+        off = None
+        if rec.guard >= 0:
+            off = taken[rec.guard]
+            offs[i] = off
+        if rec.kind == N_CONTROL:
+            if rec.tag == "jump":
+                cond = np.ones(nb, bool)
+            else:
+                a = operand(pnode.src1, const1[i])
+                b = operand(pnode.src2, const2[i])
+                cond = rec.fn(a, b)
+            if off is not None:
+                taken[i] = cond & ~off
+                fb = operand(pnode.fallback, const_fb[i], rec.np_dtype)
+                vals[i] = np.where(off, fb, cond.astype(int64))
+            else:
+                taken[i] = cond
+                vals[i] = cond.astype(int64)
+            continue
+        if rec.tag == "const":
+            result = np.full(nb, rec.fn, rec.np_dtype)
+        else:
+            a = operand(pnode.src1, const1[i])
+            b = operand(pnode.src2, const2[i])
+            result = rec.fn(a, b)
+        if off is not None:
+            fb = operand(pnode.fallback, const_fb[i], rec.np_dtype)
+            result = np.where(off, fb, result)
+        vals[i] = result
+    return vals, offs, taken, mem_vecs
+
+
+def _run_scan(rec, nb, first, prev, const1, const2, operand):
+    """Evaluate a recognized self-loop reduction in closed/scan form."""
+    pnode = rec.plan_node
+    i = rec.i
+    carry = const1[i] if first else prev[i]
+    scan = rec.scan
+    if scan == "addi":
+        # Closed form: |imm| < 2**31 and nb <= 2**20 keep every partial
+        # within int64; _vts wraps each step exactly like the scalar chain.
+        steps = np.arange(1, nb + 1, dtype=np.int64)
+        return _vts(carry + rec.scan_imm * steps)
+    if scan in ("iadd", "isub"):
+        x = operand(pnode.src2, const2[i])
+        running = np.cumsum(x)
+        return _vts(carry + running if scan == "iadd" else carry - running)
+    # FP scans accumulate directly in float32: each step equals the
+    # scalar float64-op-then-round chain (innocuous double rounding).
+    x = operand(pnode.src2, const2[i])
+    if x.dtype != np.float32:
+        x = x.astype(np.float32)  # exact: only the zero-constant case
+    acc = np.empty(nb + 1, np.float32)
+    acc[0] = carry
+    acc[1:] = x
+    ufunc = {"fadd": np.add, "fsub": np.subtract,
+             "fmul": np.multiply}[scan]
+    return ufunc.accumulate(acc)[1:]
+
+
+def _phase_timing(bp, nb, first, offs):
+    """Per-node completion weights over the timing sources.
+
+    ``W[i]`` is an (n_sources, nb) float64 array: completion of node i at
+    iteration k is ``max_s(T[s, k] + W[i][s, k])`` where T holds the
+    iteration start (source 0) and each memory node's completion.  -inf
+    marks an unreachable source.
+    """
+    nodes = bp.nodes
+    n = len(nodes)
+    S = bp.n_sources
+    mem_source = {i: j + 1 for j, i in enumerate(bp.mem_ids)}
+    W: list = [None] * n
+    mem_ready: dict[int, object] = {}
+
+    def opw(op):
+        if op.kind == K_NODE:
+            return W[op.src_id] + op.edge.cycles
+        row = np.full((S, nb), _NEG)
+        if op.kind == K_LOOP:
+            row[0] = op.edge.cycles
+            if first:
+                row[0, 0] = 0.0
+        else:
+            row[0] = 0.0
+        return row
+
+    for i in bp.order:
+        rec = nodes[i]
+        pnode = rec.plan_node
+        ready = np.maximum(opw(pnode.src1), opw(pnode.src2))
+        np.maximum(ready[0], 0.0, out=ready[0])  # the start floor
+        if rec.kind == N_MEMORY:
+            mem_ready[i] = ready
+            w = np.full((S, nb), _NEG)
+            w[mem_source[i]] = 0.0
+            W[i] = w
+            continue
+        off = offs[i]
+        if off is not None:
+            w_fb = opw(pnode.fallback)
+            W[i] = np.where(off[None, :],
+                            np.maximum(ready, w_fb),
+                            ready + pnode.latency)
+        else:
+            W[i] = ready + pnode.latency
+    wend = W[0]
+    for i in range(1, n):
+        wend = np.maximum(wend, W[i])
+    return W, mem_ready, wend
+
+
+def _phase_memory(bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
+                  ports, access, ideal_latency, speculative, store_issue,
+                  memory, options):
+    """Sequential walk of the block's memory events (the only per-iteration
+    Python loop left): port grants, cache accesses, store commits."""
+    nodes = bp.nodes
+    mem_ids = bp.mem_ids
+    request = ports.request
+    store = memory.store
+
+    def compress(matrix):
+        """(source, row-list) pairs for the finite rows of a weight array."""
+        out = []
+        for s in range(matrix.shape[0]):
+            row = matrix[s]
+            if not np.all(np.isneginf(row)):
+                out.append((s, row.tolist()))
+        return out
+
+    records = []
+    for i in mem_ids:
+        mem_plan = nodes[i].plan_node.memory
+        addr, raw = mem_vecs[i]
+        records.append((
+            mem_plan.is_load, mem_plan.size, mem_plan.pc,
+            mem_plan.vector_group, mem_plan.prefetched,
+            addr.tolist(), raw.tolist() if raw is not None else None,
+            compress(mem_ready[i]), [0.0] * nb,
+        ))
+    wend_rows = compress(wend)
+
+    starts_list = [0.0] * nb
+    ends_list = [0.0] * nb
+    start = clock
+    for k in range(nb):
+        starts_list[k] = start
+        vector_grants: dict[int, float] = {}
+        store_horizon = None
+        dones: list[float] = []
+        for (is_load, size, pc, group, prefetched, addr, raw, comps,
+             done_row) in records:
+            ready = _NEG
+            for s, row in comps:
+                w = row[k]
+                if w != _NEG:
+                    t = start + w if s == 0 else dones[s - 1] + w
+                    if t > ready:
+                        ready = t
+            if is_load:
+                if not speculative and store_horizon is not None \
+                        and store_horizon > ready:
+                    ready = store_horizon
+                if group is not None and group in vector_grants:
+                    grant = vector_grants[group]
+                    if ready > grant:
+                        grant = ready
+                else:
+                    grant = request(ready)
+                    if group is not None:
+                        vector_grants[group] = grant
+                cycles = access(addr[k], pc=pc)
+                if prefetched and iterations + k > 0 \
+                        and cycles > ideal_latency:
+                    cycles = ideal_latency
+                done = grant + cycles
+            else:
+                grant = request(ready)
+                access(addr[k], True, pc)
+                store(addr[k], size, raw[k])
+                done = grant + store_issue
+                if store_horizon is None or done > store_horizon:
+                    store_horizon = done
+            dones.append(done)
+            done_row[k] = done
+        end = start
+        for s, row in wend_rows:
+            w = row[k]
+            if w != _NEG:
+                t = start + w if s == 0 else dones[s - 1] + w
+                if t > end:
+                    end = t
+        ends_list[k] = end
+        start = end
+    done_mat = np.array([record[8] for record in records])
+    return np.array(starts_list), np.array(ends_list), done_mat
+
+
+def _fold_events(bp, nb, first, offs, slot_count, acc):
+    """Accumulate edge-slot and activity event counts for one block."""
+    nodes = bp.nodes
+    off_counts: dict[int, int] = {}
+    for i, off in enumerate(offs):
+        if off is not None:
+            off_counts[i] = int(off.sum())
+    for edge, cadence, owner in bp.slot_events:
+        if cadence == EV_ALWAYS:
+            count = nb
+        elif cadence == EV_LOOP:
+            count = nb - 1 if first else nb
+        else:
+            count = off_counts.get(owner, 0)
+            if cadence == EV_FB_LOOP and first and count \
+                    and bool(offs[owner][0]):
+                count -= 1
+        if count:
+            slot_count[edge.slot] += count
+            if edge.is_local:
+                acc["local_hops"] += edge.manhattan * count
+            else:
+                acc["noc_hops"] += edge.router_hops * count
+    for rec in nodes:
+        off = off_counts.get(rec.i, 0)
+        live = nb - off
+        if off:
+            acc["forwards"] += off
+            acc["control_events"] += off
+        if rec.kind == N_MEMORY:
+            key = "loads" if rec.plan_node.memory.is_load else "stores"
+            acc[key] += nb
+        elif rec.kind == N_CONTROL:
+            acc["control_events"] += live
+        else:
+            key = "fp_ops" if rec.plan_node.is_fp else "int_ops"
+            acc[key] += live
+            acc["pe_busy"] += rec.plan_node.latency * live

@@ -96,6 +96,13 @@ class LatencyCounters:
         ``node_count`` times (the engine records one completion per node per
         iteration).  Edge dicts carry the summed transfer latencies and
         event counts keyed ``(src, dst)``.
+
+        The fold is purely additive, so a run may call it more than once —
+        the batched executor folds its vectorized per-block sums here, and
+        when it bails mid-run the scalar loop folds the remainder as a
+        second call.  Every engine timing quantity is an integer-valued
+        float64, so the split sums equal the interpreter's event-order
+        sums bit for bit.
         """
         if node_count:
             for node_id, total in enumerate(node_total):

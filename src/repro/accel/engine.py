@@ -53,6 +53,7 @@ from ..mem import (
     MemoryHierarchy,
     MemoryPorts,
 )
+from .batch import drive_batched
 from .config import AcceleratorConfig
 from .counters import ActivityCounters, LatencyCounters
 from .interconnect import Interconnect, build_interconnect
@@ -89,6 +90,14 @@ class ExecutionOptions:
     speculative_loads: bool = True
     #: Cycles to re-propagate a value after a load invalidation.
     replay_penalty: int = 6
+    #: Batched (vectorized-block) drive path: None auto-selects it whenever
+    #: the plan's capability analysis accepts the program, True asks for it
+    #: explicitly (still falls back — with the reason reported — when the
+    #: plan is not batchable), False pins the scalar compiled loop.
+    batch: bool | None = None
+    #: Iterations per batched block; 0 defers to the ``REPRO_BATCH_BLOCK``
+    #: environment variable, then the built-in default (256).
+    batch_block: int = 0
 
     def __post_init__(self) -> None:
         if self.tile_factor < 1:
@@ -97,6 +106,8 @@ class ExecutionOptions:
             raise ValueError("max_iterations must be >= 1")
         if self.replay_penalty < 0:
             raise ValueError("replay_penalty must be >= 0")
+        if self.batch_block < 0:
+            raise ValueError("batch_block must be >= 0")
 
 
 @dataclass
@@ -112,6 +123,11 @@ class AcceleratorRun:
     latency: LatencyCounters
     activity: ActivityCounters
     final_state: MachineState
+    #: Which drive loop executed: "interpreted", "compiled", "batched", or
+    #: "batched+compiled" when a mid-run bail finished on the scalar loop.
+    drive_path: str = "interpreted"
+    #: Why the batched path was not (fully) used, when it wasn't.
+    drive_reason: str = ""
 
     @property
     def cycles_per_iteration(self) -> float:
@@ -157,9 +173,44 @@ class DataflowEngine:
         activity = ActivityCounters()
         reg_env = {reg: state.read(reg) for reg in self.program.live_in}
 
-        drive = self._drive_compiled if self._compiled else self._drive_interpreted
-        iterations, iteration_latencies = drive(
-            state, reg_env, ports, latency, activity, options)
+        drive_path = "compiled" if self._compiled else "interpreted"
+        drive_reason = ""
+        if not self._compiled:
+            iterations, iteration_latencies = self._drive_interpreted(
+                state, reg_env, ports, latency, activity, options)
+        else:
+            batch_program = None
+            if options.batch is not False:
+                batch_program = self.plan.batch_program
+                if not batch_program.capability:
+                    drive_reason = batch_program.capability.reason
+                    batch_program = None
+            if batch_program is None:
+                iterations, iteration_latencies = self._drive_compiled(
+                    state, reg_env, ports, latency, activity, options)
+            else:
+                iterations, iteration_latencies, bail = drive_batched(
+                    batch_program, self.hierarchy, state, reg_env, ports,
+                    latency, activity, options)
+                drive_path = "batched"
+                if bail is not None:
+                    # A block violated a batching precondition (e.g. a
+                    # store aliased a later load).  Nothing of that block
+                    # was committed; the scalar loop continues the run from
+                    # the last completed iteration — ports, caches, and
+                    # counters carry over, so the result is still
+                    # bit-identical to a pure scalar run.
+                    clock, carried, drive_reason = bail
+                    if carried is None:
+                        drive_path = "compiled"
+                        iterations, iteration_latencies = self._drive_compiled(
+                            state, reg_env, ports, latency, activity, options)
+                    else:
+                        drive_path = "batched+compiled"
+                        iterations, tail = self._drive_compiled(
+                            state, reg_env, ports, latency, activity, options,
+                            resume=(iterations, clock, carried))
+                        iteration_latencies += tail
 
         mean_latency = (sum(iteration_latencies) / len(iteration_latencies)
                         if iteration_latencies else 0.0)
@@ -173,14 +224,22 @@ class DataflowEngine:
             latency=latency,
             activity=activity,
             final_state=state,
+            drive_path=drive_path,
+            drive_reason=drive_reason,
         )
 
     # -- plan-compiled execution -------------------------------------------------
 
     def _drive_compiled(self, state, reg_env, ports,
                         latency: LatencyCounters, activity: ActivityCounters,
-                        options: ExecutionOptions):
-        """Run the loop via the precompiled plan (flat lists per node id)."""
+                        options: ExecutionOptions, resume=None):
+        """Run the loop via the precompiled plan (flat lists per node id).
+
+        ``resume`` — ``(iterations, clock, values)`` from a batched-path
+        bail — continues a run mid-flight: the handed-over values act as
+        the loop-carried inputs of the next iteration, and only the
+        iterations this loop itself executes are folded into the counters.
+        """
         plan = self.plan
         nodes = plan.nodes
         n = plan.n_nodes
@@ -191,11 +250,13 @@ class DataflowEngine:
         noc_channels = self._noc_channels
 
         # Accumulated in flat structures, folded into the counters at the
-        # end.  Per-node totals and per-edge totals are summed in the same
-        # event order the interpreter uses, so float sums stay identical.
+        # end.  Edge events index per-slot arrays (one slot per operand
+        # occurrence, ``EdgePlan.slot``); per-slot totals are summed in the
+        # same event order the interpreter uses, so float sums stay
+        # identical once folded back into the per-key counters.
         node_total = [0.0] * n
-        edge_total: dict[tuple[int, int], float] = {}
-        edge_count: dict[tuple[int, int], int] = {}
+        slot_cycles = [0.0] * len(plan.edge_slots)
+        slot_count = [0] * len(plan.edge_slots)
         int_ops = fp_ops = forwards = control_events = 0
         local_hops = pe_busy = 0
 
@@ -215,25 +276,44 @@ class DataflowEngine:
                 cycles = e.cycles + wait
                 activity.noc_hops += e.router_hops
                 activity.noc_wait_cycles += wait
-            key = e.key
-            edge_total[key] = edge_total.get(key, 0.0) + cycles
-            edge_count[key] = edge_count.get(key, 0) + 1
+            slot = e.slot
+            slot_cycles[slot] += cycles
+            slot_count[slot] += 1
             return cycles
 
-        prev_values: list = []
+        # A guard at or after its node would read this iteration's
+        # still-default branch state — treat it as no guard, which lets the
+        # branch-state buffer be reused across iterations (every effective
+        # guard's entry is rewritten before it is read).
+        guard_ids = [node.guard_branch
+                     if -1 < node.guard_branch < node.node_id else -1
+                     for node in nodes]
+
+        # Per-iteration buffers, allocated once and reused: values swap
+        # with prev_values at the top of each iteration; completion and
+        # branch_state entries are rewritten before any read.
+        prev_values: list = [0] * n
+        values: list = [0] * n
+        completion: list = [0.0] * n
+        branch_state: list = [False] * n
+        vector_grants: dict[int, float] = {}
+        stores_seen: list[tuple[int, int, int, float]] = []
         iteration_latencies: list[float] = []
         clock = 0.0
         iterations = 0
+        base_iterations = 0
+        if resume is not None:
+            iterations, clock, carried = resume
+            base_iterations = iterations
+            values[:] = carried
         while True:
             start = clock
             first = iterations == 0
-            values = [0] * n
-            completion = [0.0] * n
-            branch_state = [False] * n
+            prev_values, values = values, prev_values
             loop_taken = False
             lsq = LoadStoreQueue(capacity=n or 1) if has_memory else None
-            vector_grants: dict[int, float] = {}
-            stores_seen: list[tuple[int, int, int, float]] = []
+            vector_grants.clear()
+            stores_seen.clear()
 
             for node in nodes:
                 i = node.node_id
@@ -265,7 +345,7 @@ class DataflowEngine:
                     b_arr = start
                 ready = max(start, a_arr, b_arr)
 
-                guard = node.guard_branch
+                guard = guard_ids[i]
                 if guard >= 0 and branch_state[guard]:
                     # Predicated off: forward the old destination value (§5).
                     op = node.fallback
@@ -286,6 +366,8 @@ class DataflowEngine:
                     control_events += 1
                     if node.is_store:
                         value = 0  # suppressed store produces nothing
+                    elif node.kind == N_CONTROL:
+                        branch_state[i] = False  # a disabled branch is untaken
                 elif node.kind == N_MEMORY:
                     value, done = self._run_memory_fast(
                         node, int(a), b, ready, state, lsq, ports, activity,
@@ -315,19 +397,29 @@ class DataflowEngine:
             iteration_end = max(completion) if n else clock
             iteration_latencies.append(iteration_end - clock)
             clock = iteration_end  # barrier between iterations
-            prev_values = values
             iterations += 1
             if loop_branch is None or not loop_taken:
                 break
             if iterations >= max_iterations:
                 break
 
-        # Write live-out registers back to the architectural state.
+        # Write live-out registers back to the architectural state (the
+        # last iteration's results are still in ``values`` — the swap only
+        # happens at the top of the next iteration).
         for register, node_id in self.program.live_out.items():
             if 0 <= node_id < n:
-                state.write(register, prev_values[node_id])
+                state.write(register, values[node_id])
 
-        latency.bulk_record(node_total, iterations, edge_total, edge_count)
+        edge_total: dict[tuple[int, int], float] = {}
+        edge_count: dict[tuple[int, int], int] = {}
+        for e in plan.edge_slots:
+            count = slot_count[e.slot]
+            if count:
+                key = e.key
+                edge_total[key] = edge_total.get(key, 0.0) + slot_cycles[e.slot]
+                edge_count[key] = edge_count.get(key, 0) + count
+        latency.bulk_record(node_total, iterations - base_iterations,
+                            edge_total, edge_count)
         activity.int_ops += int_ops
         activity.fp_ops += fp_ops
         activity.forwards += forwards

@@ -94,6 +94,11 @@ class EdgePlan:
     router_hops: int
     #: ``(src_id, dst_id)`` — the latency-counter key.
     key: tuple[int, int]
+    #: Index into ``ExecutionPlan.edge_slots`` — one slot per operand
+    #: occurrence, so per-event accounting can use flat arrays instead of
+    #: dicts (several slots may share a ``key`` when a node consumes the
+    #: same producer twice).
+    slot: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -186,7 +191,8 @@ class ExecutionPlan:
     __slots__ = (
         "program", "config", "interconnect", "nodes", "n_nodes",
         "loop_branch_id", "has_memory", "xlen_mask", "store_issue",
-        "memory_per_iter", "occupancy_entries", "_recurrence_cache",
+        "memory_per_iter", "occupancy_entries", "edge_slots",
+        "_recurrence_cache", "_batch",
     )
 
     def __init__(self, program: AcceleratorProgram,
@@ -194,6 +200,10 @@ class ExecutionPlan:
         self.program = program
         self.config: AcceleratorConfig = program.config
         self.interconnect = interconnect
+        #: Every EdgePlan in compile order — one slot per operand occurrence.
+        #: Both drive loops account edge events into flat arrays indexed by
+        #: ``EdgePlan.slot`` and fold into the keyed counters once per run.
+        self.edge_slots: list[EdgePlan] = []
         self.nodes: list[NodePlan] = [
             self._compile_node(node) for node in program.nodes
         ]
@@ -222,6 +232,28 @@ class ExecutionPlan:
         #: Recurrence-bound II per memory ideal latency (the one dynamic
         #: input of the RecMII computation).
         self._recurrence_cache: dict[float, float] = {}
+        #: Lazily compiled batched program (``accel.batch``).
+        self._batch = None
+
+    # -- batched execution ---------------------------------------------------
+
+    @property
+    def batch_program(self):
+        """The batched compilation of this plan (lazy, cached).
+
+        Always returns a :class:`repro.accel.batch.BatchProgram`; when the
+        plan cannot be vectorized its ``capability`` carries the reason and
+        the engine stays on the scalar compiled loop.
+        """
+        if self._batch is None:
+            from .batch import compile_batch
+            self._batch = compile_batch(self)
+        return self._batch
+
+    @property
+    def batchable(self):
+        """Capability verdict of the batched executor for this plan."""
+        return self.batch_program.capability
 
     # -- compilation ---------------------------------------------------------
 
@@ -306,7 +338,7 @@ class ExecutionPlan:
         # The same faster-path-wins decision the cycle model makes: the
         # packet takes the neighbor links unless the NoC strictly beats them.
         is_local = manhattan * self.config.local_hop_latency <= cycles
-        return EdgePlan(
+        edge = EdgePlan(
             src_id=src_id,
             dst_id=dst.node_id,
             cycles=cycles,
@@ -315,7 +347,10 @@ class ExecutionPlan:
             src_row=src.coord[0],
             router_hops=self.interconnect.router_hops(src.coord, dst.coord),
             key=(src_id, dst.node_id),
+            slot=len(self.edge_slots),
         )
+        self.edge_slots.append(edge)
+        return edge
 
     # -- per-run constants ---------------------------------------------------
 

@@ -108,6 +108,12 @@ class MesaOptions:
     pipelining: bool = True
     #: Out-of-order load issue with invalidation replay (§4.2).
     speculative_loads: bool = True
+    #: Batched (vectorized-block) engine drive path: None auto-selects it
+    #: per region from the plan's capability analysis, True requests it
+    #: (falls back with a reported reason), False pins the scalar loop.
+    batched: bool | None = None
+    #: Iterations per batched block (0: env/default).
+    batch_block: int = 0
     #: Extra profile→remap rounds after the initial configuration.
     iterative_rounds: int = 0
     mapping: MappingOptions = field(default_factory=MappingOptions)
@@ -221,6 +227,25 @@ class MesaResult:
         for run in self.runs:
             merged = merged.merged(run.activity)
         return merged
+
+    @property
+    def drive_path(self) -> str:
+        """Which engine drive loop(s) executed the offloaded iterations —
+        "batched", "compiled", "interpreted", "batched+compiled" for a
+        mid-run bail, or a comma-joined set if offloads diverged."""
+        paths = []
+        for run in self.runs:
+            if run.drive_path not in paths:
+                paths.append(run.drive_path)
+        return ",".join(paths)
+
+    @property
+    def drive_reason(self) -> str:
+        """Why the batched path was not (fully) used ("" if it was)."""
+        for run in self.runs:
+            if run.drive_reason:
+                return run.drive_reason
+        return ""
 
 
 @dataclass(frozen=True)
@@ -578,7 +603,9 @@ class MesaController:
                         len(accel_program.live_in))
                     run = engines[entry].run(
                         state, region.plan.to_execution_options(
-                            speculative_loads=options.speculative_loads))
+                            speculative_loads=options.speculative_loads,
+                            batch=options.batched,
+                            batch_block=options.batch_block))
                     region.runs.append(run)
                     breakdown.accel_cycles += run.cycles
                     breakdown.return_cycles += options.offload.return_cycles(

@@ -44,6 +44,25 @@ class Memory:
         ):
             self._bytes[address + i] = byte
 
+    def gather(self, addresses: Iterable[int], size: int) -> list[int]:
+        """Bulk :meth:`load`: one raw unsigned value per address.
+
+        Semantically identical to ``[self.load(a, size) for a in addresses]``
+        (including the negative-address check) but resolves ``_bytes.get``
+        once — the batched engine reads a whole block of load addresses
+        through this in one call.
+        """
+        get = self._bytes.get
+        out = []
+        for address in addresses:
+            if address < 0:
+                raise ValueError(f"negative address {address:#x}")
+            value = 0
+            for i in range(size - 1, -1, -1):
+                value = (value << 8) | get(address + i, 0)
+            out.append(value)
+        return out
+
     # -- typed helpers --------------------------------------------------------
 
     def load_word(self, address: int) -> int:

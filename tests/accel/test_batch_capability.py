@@ -1,0 +1,188 @@
+"""Batched-path capability analysis: frozen verdicts and unit reasons.
+
+The capability analysis in :mod:`repro.accel.batch` decides — per compiled
+plan — whether the vectorized block executor can reproduce the interpreter
+bit for bit, and says *why not* when it can't.  Two kinds of regression are
+frozen here:
+
+* the verdict for every Rodinia kernel at M-128, so a change that silently
+  stops batching (or starts batching something unsound) fails loudly; and
+* unit tests pinning each machine-readable fallback reason to a minimal
+  program that triggers it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorProgram,
+    ConfiguredNode,
+    DataflowEngine,
+    M_128,
+    Operand,
+)
+from repro.accel.batch import compile_batch
+from repro.core import MesaController, MesaOptions
+from repro.isa import Instruction, MachineState, Opcode, x
+from repro.workloads import build_kernel, kernel_names
+
+from .test_batch_equivalence import loop_program
+
+#: Frozen verdict per kernel at M-128: "batched", a fallback reason, or
+#: None when the controller does not accelerate the kernel at all.
+EXPECTED = {
+    "backprop": "batched",
+    "bfs": "guarded memory access",
+    "btree": None,
+    "cfd": "batched",
+    "gaussian": "batched",
+    "heartwall": "batched",
+    "hotspot": "batched",
+    "hotspot3d": "batched",
+    "kmeans": "NoC ring-channel contention",
+    "lavamd": "NoC ring-channel contention",
+    "leukocyte": "batched",
+    "lud": "batched",
+    "myocyte": "coupled loop-carried recurrence",
+    "nn": "batched",
+    "nw": "coupled loop-carried recurrence",
+    "particlefilter": "batched",
+    "pathfinder": "batched",
+    "srad": None,
+    "streamcluster": "guarded memory access",
+}
+
+
+def test_expected_covers_every_kernel():
+    assert set(EXPECTED) == set(kernel_names())
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_kernel_verdict_frozen(name):
+    kernel = build_kernel(name, iterations=64, seed=1)
+    controller = MesaController(M_128, options=MesaOptions())
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=kernel.parallelizable)
+    expected = EXPECTED[name]
+    if expected is None:
+        assert not result.accelerated
+    elif expected == "batched":
+        assert result.accelerated
+        assert result.drive_path == "batched", result.drive_reason
+    else:
+        assert result.accelerated
+        assert result.drive_path == "compiled"
+        assert result.drive_reason == expected
+
+
+# -- unit reasons over minimal programs --------------------------------------
+
+CFG = AcceleratorConfig(rows=16, cols=8)
+
+
+def reason_for(program) -> str:
+    engine = DataflowEngine(program)
+    capability = compile_batch(engine.plan).capability
+    assert not capability
+    return capability.reason
+
+
+def edit_node(program, node_id, **changes):
+    nodes = list(program.nodes)
+    nodes[node_id] = dataclasses.replace(nodes[node_id], **changes)
+    return dataclasses.replace(program, nodes=nodes)
+
+
+def test_no_loop_branch():
+    program = loop_program()
+    single = dataclasses.replace(
+        program,
+        nodes=program.nodes[:9],
+        loop_branch_id=None,
+        live_out={x(6): 2, x(7): 7},
+    )
+    assert reason_for(single) == "no loop branch (single-shot region)"
+
+
+def test_xlen_64_rejected():
+    program = dataclasses.replace(
+        loop_program(), config=dataclasses.replace(CFG, xlen=64))
+    assert reason_for(program) == "xlen 64"
+
+
+def test_guarded_memory_access():
+    program = loop_program()
+    guard = program.nodes[7].guard
+    program = edit_node(program, 8, guard=guard)
+    assert reason_for(program) == "guarded memory access"
+
+
+def test_self_referential_guard_fallback_rejected():
+    # x7 = taken ? new : old(x7) is a data-dependent recurrence — the
+    # fallback may not name its own node.
+    program = loop_program()
+    guard = program.nodes[7].guard
+    guard = dataclasses.replace(
+        guard, fallback=Operand.loop_carried(7, x(7)))
+    program = edit_node(program, 7, guard=guard)
+    assert reason_for(program) == "unsupported loop-carried reduction"
+
+
+def test_non_scan_self_loop_rejected():
+    # node 7 becomes x7 = x7 XOR load — XOR has no recognized scan form.
+    program = loop_program()
+    node = program.nodes[7]
+    instr = dataclasses.replace(node.instruction, opcode=Opcode.XOR)
+    program = edit_node(program, 7, instruction=instr,
+                        src1=Operand.loop_carried(7, x(7)),
+                        src2=Operand.node(2), guard=None)
+    assert reason_for(program) == "unsupported loop-carried reduction"
+
+
+def test_coupled_recurrence_rejected():
+    # Cross-coupled: node 0 feeds on node 7's previous value while node 7
+    # (a recognized reduction otherwise) transitively feeds node 0 — the
+    # combined dependence graph has a cycle.
+    program = loop_program()
+    program = edit_node(program, 0, src1=Operand.loop_carried(7, x(7)))
+    program = edit_node(program, 7, src2=Operand.node(0), guard=None)
+    assert reason_for(program) == "coupled loop-carried recurrence"
+
+
+def test_load_dependent_store_addressing():
+    # Store address computed from a loaded value: the LSQ would have to
+    # disambiguate inside the block.
+    program = loop_program()
+    program = edit_node(program, 8, src1=Operand.node(2))
+    assert reason_for(program) == "load-dependent store addressing"
+
+
+def test_operand_dtype_mismatch():
+    # An integer add fed by a float producer — int() coercion on the
+    # scalar path has no exact vector form.
+    program = loop_program()
+    program = edit_node(program, 7, src2=Operand.node(5), guard=None)
+    assert reason_for(program) == "operand dtype mismatch"
+
+
+def test_batchable_program_accepts():
+    capability = compile_batch(DataflowEngine(loop_program()).plan).capability
+    assert capability
+    assert capability.reason == ""
+
+
+def test_noc_contention_reason_matches_kmeans():
+    kernel = build_kernel("kmeans", iterations=64, seed=1)
+    controller = MesaController(M_128, options=MesaOptions())
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=kernel.parallelizable)
+    assert result.accel_program is not None
+    capability = compile_batch(
+        DataflowEngine(result.accel_program,
+                       interconnect=controller.interconnect).plan).capability
+    assert not capability
+    assert capability.reason == "NoC ring-channel contention"

@@ -1,0 +1,284 @@
+"""Golden equivalence: the batched (vectorized-block) engine path.
+
+The batched executor (:mod:`repro.accel.batch`) advances whole blocks of
+fabric iterations as numpy vectors.  Its contract is the same as the
+execution plan's: **bit-identical** results to the interpreter on every
+program its capability analysis accepts — cycles, counters, per-node and
+per-edge latencies, registers (by IEEE bit pattern) and memory (byte for
+byte).  These tests hold it to that contract through the full controller
+pipeline, through direct engine runs over hand-built programs that hit the
+tricky corners (block boundaries, loop-carried reductions, predication,
+NaN payloads, mid-run aliasing bails), and across block sizes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorProgram,
+    ConfiguredNode,
+    DataflowEngine,
+    ExecutionOptions,
+    Guard,
+    Operand,
+)
+from repro.accel import M_128
+from repro.accel.batch import BLOCK_ENV, DEFAULT_BLOCK, MAX_BLOCK, resolve_block
+from repro.core import MesaController, MesaOptions
+from repro.isa import Instruction, MachineState, Opcode, f, x
+from repro.mem import Memory
+from repro.workloads import build_kernel
+
+from .test_plan_equivalence import (
+    KERNELS,
+    MODES,
+    result_fingerprint,
+    run_fingerprint,
+)
+
+CFG = AcceleratorConfig(rows=16, cols=8)
+
+#: Base of the integer load region staged by :func:`make_state`.
+LOAD_BASE = 0x100
+#: Offset from the integer region to the float region.
+FP_OFFSET = 0x200
+
+
+def execute_kernel(name: str, config, options, batched) -> tuple:
+    """One kernel through the full pipeline with the drive path pinned."""
+    base = options if options is not None else MesaOptions()
+    kernel = build_kernel(name, iterations=96, seed=1)
+    controller = MesaController(
+        config, options=dataclasses.replace(base, batched=batched))
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=kernel.parallelizable)
+    return result_fingerprint(result), result
+
+
+class TestPipelineEquivalence:
+    @pytest.mark.parametrize("name", KERNELS)
+    @pytest.mark.parametrize("mode", sorted(MODES))
+    def test_batched_vs_scalar_bit_identical(self, name, mode):
+        options = MODES[mode]
+        batched, _ = execute_kernel(name, M_128, options, True)
+        scalar, _ = execute_kernel(name, M_128, options, False)
+        assert batched == scalar
+
+    def test_fallback_reason_is_reported(self):
+        # kmeans fans one producer out across a row: two NoC slots on one
+        # ring channel defeat the zero-wait proof, so the capability
+        # analysis must route it to the scalar loop — visibly.
+        _, result = execute_kernel("kmeans", M_128, None, True)
+        assert result.accelerated
+        assert result.drive_path == "compiled"
+        assert result.drive_reason == "NoC ring-channel contention"
+
+    def test_batchable_kernel_reports_batched(self):
+        _, result = execute_kernel("hotspot", M_128, None, None)
+        assert result.accelerated
+        assert result.drive_path == "batched"
+        assert result.drive_reason == ""
+
+
+def loop_program(store_offset: int = 0x400,
+                 store_base_register: bool = False) -> AcceleratorProgram:
+    """A compact loop exercising every batched-path mechanism at once:
+    two addi reductions (countdown + address walk), int and float loads,
+    an FADD loop-carried accumulation, NaN-capable FP compute, a guarded
+    add with a loop-carried fallback, a store, and the loop branch.
+
+    ``store_base_register`` pins the store's address to the live-in
+    ``x14`` instead of the walking base — with the right ``store_offset``
+    that plants an alias a later load trips over mid-run.
+    """
+    base = 0x2000
+    store_src1 = (Operand.from_register(x(14)) if store_base_register
+                  else Operand.node(1))
+    nodes = [
+        # 0: countdown t0 -= 1 (closed-form addi reduction)
+        ConfiguredNode(0, Instruction(base, Opcode.ADDI, rd=x(5), rs1=x(5),
+                                      imm=-1),
+                       (0, 0), src1=Operand.loop_carried(0, x(5))),
+        # 1: address walk a0 += 4 (second reduction)
+        ConfiguredNode(1, Instruction(base + 4, Opcode.ADDI, rd=x(10),
+                                      rs1=x(10), imm=4),
+                       (0, 1), src1=Operand.loop_carried(1, x(10))),
+        # 2: integer load off the walking base
+        ConfiguredNode(2, Instruction(base + 8, Opcode.LW, rd=x(6),
+                                      rs1=x(10), imm=0),
+                       (0, -1), src1=Operand.node(1), is_memory=True),
+        # 3: float load (the staged region includes NaN payloads)
+        ConfiguredNode(3, Instruction(base + 12, Opcode.FLW, rd=f(1),
+                                      rs1=x(10), imm=FP_OFFSET),
+                       (1, -1), src1=Operand.node(1), is_memory=True),
+        # 4: loop-carried FP accumulation (float32 prefix scan)
+        ConfiguredNode(4, Instruction(base + 16, Opcode.FADD_S, rd=f(2),
+                                      rs1=f(2), rs2=f(1)),
+                       (1, 0), src1=Operand.loop_carried(4, f(2)),
+                       src2=Operand.node(3)),
+        # 5: NaN-propagating FP compute
+        ConfiguredNode(5, Instruction(base + 20, Opcode.FMUL_S, rd=f(3),
+                                      rs1=f(1), rs2=f(1)),
+                       (1, 1), src1=Operand.node(3), src2=Operand.node(3)),
+        # 6: guard branch — disables node 7 when the loaded int < x12
+        ConfiguredNode(6, Instruction(base + 24, Opcode.BLT, rs1=x(6),
+                                      rs2=x(12), imm=8),
+                       (2, 0), src1=Operand.node(2),
+                       src2=Operand.from_register(x(12))),
+        # 7: guarded add; disabled lanes forward the *previous*
+        # iteration's loaded value (a non-self loop-carried fallback)
+        ConfiguredNode(7, Instruction(base + 28, Opcode.ADD, rd=x(7),
+                                      rs1=x(6), rs2=x(13)),
+                       (2, 1), src1=Operand.node(2),
+                       src2=Operand.from_register(x(13)),
+                       guard=Guard(6, Operand.loop_carried(2, x(6)))),
+        # 8: store the guarded result
+        ConfiguredNode(8, Instruction(base + 32, Opcode.SW, rs1=x(10),
+                                      rs2=x(7), imm=store_offset),
+                       (2, -1), src1=store_src1, src2=Operand.node(7),
+                       is_memory=True),
+        # 9: loop branch — repeat while the countdown is nonzero
+        ConfiguredNode(9, Instruction(base + 36, Opcode.BNE, rs1=x(5),
+                                      rs2=x(0), imm=-36),
+                       (3, 0), src1=Operand.node(0)),
+    ]
+    return AcceleratorProgram(
+        config=CFG, nodes=nodes, loop_branch_id=9,
+        live_in={x(5), x(6), x(10), x(12), x(13), x(14), x(7), f(2)},
+        live_out={x(5): 0, x(6): 2, x(7): 7, f(2): 4, f(3): 5},
+    )
+
+
+def make_state(iterations: int = 50, store_target: int = 0) -> MachineState:
+    state = MachineState(memory=Memory())
+    state.write(x(5), iterations)
+    state.write(x(10), LOAD_BASE)
+    state.write(x(12), 7)      # guard threshold
+    state.write(x(13), 3)
+    state.write(x(14), store_target)
+    state.write(x(6), 21)      # loop-carried fallback seed
+    state.write(x(7), 111)
+    state.write(f(2), 0.5)     # accumulator seed
+    for i in range(iterations + 2):
+        address = LOAD_BASE + 4 * (i + 1)
+        state.memory.store_word(address, (i * 2654435761) % 97 - 48)
+        if i % 7 == 3:
+            # Payloaded NaNs and a negative zero in the float region.
+            raw = 0x7FC00001 if i % 2 else 0x80000000
+            state.memory.store(address + FP_OFFSET, 4, raw)
+        else:
+            state.memory.store_float(address + FP_OFFSET,
+                                     (i - 20) * 0.3125)
+    return state
+
+
+def run_direct(program, state, **option_overrides):
+    options = ExecutionOptions(**option_overrides)
+    return DataflowEngine(program).run(state, options)
+
+
+def three_way(program, make, **overrides):
+    """(batched, scalar, interpreted) runs of one program/state recipe."""
+    batched = run_direct(program, make(), batch=True, **overrides)
+    scalar = run_direct(program, make(), batch=False, **overrides)
+    interpreted = DataflowEngine(program, compiled=False).run(
+        make(), ExecutionOptions(**overrides))
+    return batched, scalar, interpreted
+
+
+class TestDirectEngineEquivalence:
+    def test_disjoint_store_is_batchable_and_bit_identical(self):
+        program = loop_program()
+        batched, scalar, interpreted = three_way(program, make_state)
+        assert batched.drive_path == "batched"
+        assert batched.drive_reason == ""
+        assert run_fingerprint(batched) == run_fingerprint(interpreted)
+        assert run_fingerprint(scalar) == run_fingerprint(interpreted)
+
+    @pytest.mark.parametrize("block", (1, 3, 7, 64, 4096))
+    def test_block_boundaries_bit_identical(self, block):
+        program = loop_program()
+        reference = DataflowEngine(program, compiled=False).run(
+            make_state(), ExecutionOptions())
+        run = run_direct(program, make_state(), batch=True,
+                         batch_block=block)
+        assert run.drive_path == "batched"
+        assert run_fingerprint(run) == run_fingerprint(reference)
+
+    def test_env_block_override(self, monkeypatch):
+        monkeypatch.setenv(BLOCK_ENV, "5")
+        assert resolve_block(ExecutionOptions()) == 5
+        # The option knob wins over the environment.
+        assert resolve_block(ExecutionOptions(batch_block=9)) == 9
+        monkeypatch.setenv(BLOCK_ENV, "not-a-number")
+        assert resolve_block(ExecutionOptions()) == DEFAULT_BLOCK
+        monkeypatch.delenv(BLOCK_ENV)
+        assert resolve_block(ExecutionOptions()) == DEFAULT_BLOCK
+        assert resolve_block(
+            ExecutionOptions(batch_block=MAX_BLOCK * 4)) == MAX_BLOCK
+        program = loop_program()
+        monkeypatch.setenv(BLOCK_ENV, "3")
+        run = run_direct(program, make_state(), batch=True)
+        reference = DataflowEngine(program, compiled=False).run(
+            make_state(), ExecutionOptions())
+        assert run_fingerprint(run) == run_fingerprint(reference)
+
+    def test_mid_run_alias_bails_to_scalar_bit_identical(self):
+        # The store writes a fixed address the walking load reaches at
+        # iteration 10 — inside the *second* block of 8, so the batched
+        # path must bail mid-run and hand the scalar loop a live state.
+        program = loop_program(store_offset=0, store_base_register=True)
+        target = LOAD_BASE + 4 * 11
+
+        def make():
+            return make_state(iterations=30, store_target=target)
+
+        batched, scalar, interpreted = three_way(program, make,
+                                                 batch_block=8)
+        assert batched.drive_path == "batched+compiled"
+        assert "memory aliasing at iteration 8" in batched.drive_reason
+        assert batched.iterations == 30
+        assert run_fingerprint(batched) == run_fingerprint(interpreted)
+        assert run_fingerprint(scalar) == run_fingerprint(interpreted)
+
+    def test_first_block_alias_falls_back_whole_run(self):
+        # Store at base+4: iteration k writes the address iteration k+1
+        # loads, so the very first block trips the alias check and the
+        # whole run executes on the scalar loop.
+        program = loop_program(store_offset=4)
+        batched, scalar, interpreted = three_way(program, make_state)
+        assert batched.drive_path == "compiled"
+        assert "memory aliasing" in batched.drive_reason
+        assert run_fingerprint(batched) == run_fingerprint(interpreted)
+        assert run_fingerprint(scalar) == run_fingerprint(interpreted)
+
+    def test_max_iterations_cut_bit_identical(self):
+        program = loop_program()
+        batched, scalar, interpreted = three_way(program, make_state,
+                                                 max_iterations=13)
+        assert batched.iterations == 13
+        assert batched.drive_path == "batched"
+        assert run_fingerprint(batched) == run_fingerprint(interpreted)
+        assert run_fingerprint(scalar) == run_fingerprint(interpreted)
+
+    def test_single_iteration_loop(self):
+        program = loop_program()
+        batched, scalar, interpreted = three_way(
+            program, lambda: make_state(iterations=1))
+        assert batched.iterations == 1
+        assert run_fingerprint(batched) == run_fingerprint(interpreted)
+        assert run_fingerprint(scalar) == run_fingerprint(interpreted)
+
+    def test_batch_disabled_pins_scalar_loop(self):
+        program = loop_program()
+        run = run_direct(program, make_state(), batch=False)
+        assert run.drive_path == "compiled"
+        assert run.drive_reason == ""
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionOptions(batch_block=-1)

@@ -1,0 +1,227 @@
+"""Property-based fuzzing of the batched engine path.
+
+Hypothesis generates random single-loop accelerator programs — random
+compute DAGs over int and float producers, optional loads and stores off a
+walking address (stores may alias later loads, exercising the mid-run bail
+path), optional predication with loop-carried fallbacks, and random live-in
+register values including NaN and infinity payloads.  The property under
+test is the batched path's whole contract in one line: **whatever the
+capability analysis decides**, a batched-requested run is bit-identical to
+the interpreter — cycles, counters, registers, and memory.
+
+This seeds the ROADMAP's random-kernel fuzzing item.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    AcceleratorProgram,
+    ConfiguredNode,
+    DataflowEngine,
+    ExecutionOptions,
+    Guard,
+    Operand,
+)
+from repro.isa import Instruction, MachineState, Opcode, f, x
+from repro.mem import Memory
+
+from .test_plan_equivalence import run_fingerprint
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+CFG = AcceleratorConfig(rows=16, cols=8)
+LOAD_BASE = 0x1000
+
+INT_OPS = (Opcode.ADD, Opcode.SUB, Opcode.SLL, Opcode.SLT, Opcode.SLTU,
+           Opcode.XOR, Opcode.SRL, Opcode.SRA, Opcode.OR, Opcode.AND,
+           Opcode.MUL)
+FP_OPS = (Opcode.FADD_S, Opcode.FSUB_S, Opcode.FMUL_S, Opcode.FDIV_S,
+          Opcode.FMIN_S, Opcode.FMAX_S, Opcode.FSGNJ_S)
+FP_CMP_OPS = (Opcode.FEQ_S, Opcode.FLT_S, Opcode.FLE_S)
+GUARD_OPS = (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE, Opcode.BLTU)
+
+#: Float32 bit patterns the register/memory pools draw from: ordinary
+#: values, signed zeros, infinities, and payloaded quiet/"signaling" NaNs.
+FLOAT_BITS = (0x00000000, 0x80000000, 0x3F800000, 0xBF000000, 0x42F6E979,
+              0x7F800000, 0xFF800000, 0x7FC00000, 0x7FC00001, 0x7FA00001,
+              0xFFC01234, 0x00000001, 0x7F7FFFFF)
+
+
+def _bits_to_float(bits: int) -> float:
+    return struct.unpack("<f", bits.to_bytes(4, "little"))[0]
+
+
+@st.composite
+def programs(draw):
+    """A random single-loop program plus a matching initial state.
+
+    Node 0 is always the countdown (ADDI -1 self-reduction), node 1 the
+    address walker (ADDI 4 self-reduction); the last node is the loop
+    branch.  In between sit 1–5 random compute nodes, at most one load
+    and one store.  Wiring keeps int consumers on int producers (so both
+    engine paths perform identical exact conversions) but otherwise roams
+    freely over earlier nodes, loop-carried values, and registers.
+    """
+    base = 0x3000
+    iterations = draw(st.integers(1, 24))
+    nodes = [
+        ConfiguredNode(0, Instruction(base, Opcode.ADDI, rd=x(5), rs1=x(5),
+                                      imm=-1),
+                       (0, 0), src1=Operand.loop_carried(0, x(5))),
+        ConfiguredNode(1, Instruction(base + 4, Opcode.ADDI, rd=x(10),
+                                      rs1=x(10), imm=4),
+                       (0, 1), src1=Operand.loop_carried(1, x(10))),
+    ]
+    # dtype per producer node: "i" or "f" (branches produce nothing).
+    dtypes = {0: "i", 1: "i"}
+    live_in = {x(5), x(10)}
+    live_out = {}
+    int_regs = [x(11), x(12), x(13)]
+    fp_regs = [f(4), f(5), f(6)]
+    live_in.update(int_regs)
+    live_in.update(fp_regs)
+
+    def int_source(i):
+        pool = [Operand.from_register(draw(st.sampled_from(int_regs)))]
+        int_nodes = [j for j in range(i) if dtypes.get(j) == "i"]
+        if int_nodes:
+            j = draw(st.sampled_from(int_nodes))
+            pool.append(Operand.node(j))
+            seed = draw(st.sampled_from(int_regs))
+            pool.append(Operand.loop_carried(j, seed))
+        return draw(st.sampled_from(pool))
+
+    def fp_source(i):
+        pool = [Operand.from_register(draw(st.sampled_from(fp_regs)))]
+        fp_nodes = [j for j in range(i) if dtypes.get(j) == "f"]
+        if fp_nodes:
+            j = draw(st.sampled_from(fp_nodes))
+            pool.append(Operand.node(j))
+            seed = draw(st.sampled_from(fp_regs))
+            pool.append(Operand.loop_carried(j, seed))
+        return draw(st.sampled_from(pool))
+
+    n_mid = draw(st.integers(1, 5))
+    has_load = draw(st.booleans())
+    has_store = draw(st.booleans())
+    guard_branch = None
+    grid, memory_row = 2, 0
+
+    def place(is_memory):
+        nonlocal grid, memory_row
+        if is_memory:
+            memory_row += 1
+            return (memory_row - 1, -1)
+        grid += 1
+        return ((grid - 1) // CFG.cols, (grid - 1) % CFG.cols)
+
+    if has_load:
+        i = len(nodes)
+        nodes.append(ConfiguredNode(
+            i, Instruction(base + 4 * i, Opcode.LW, rd=x(6), rs1=x(10),
+                           imm=draw(st.integers(-8, 8)) * 4),
+            place(True), src1=Operand.node(1), is_memory=True))
+        dtypes[i] = "i"
+
+    for _ in range(n_mid):
+        i = len(nodes)
+        kind = draw(st.sampled_from(("int", "fp", "fpcmp", "branch")))
+        if kind == "branch":
+            op = draw(st.sampled_from(GUARD_OPS))
+            nodes.append(ConfiguredNode(
+                i, Instruction(base + 4 * i, op, rs1=x(11), rs2=x(12),
+                               imm=8),
+                place(False), src1=int_source(i), src2=int_source(i)))
+            guard_branch = i
+            continue
+        if kind == "int":
+            op = draw(st.sampled_from(INT_OPS))
+            src1, src2 = int_source(i), int_source(i)
+            rd, dtype = x(7), "i"
+        elif kind == "fp":
+            op = draw(st.sampled_from(FP_OPS))
+            src1, src2 = fp_source(i), fp_source(i)
+            rd, dtype = f(7), "f"
+        else:
+            op = draw(st.sampled_from(FP_CMP_OPS))
+            src1, src2 = fp_source(i), fp_source(i)
+            rd, dtype = x(7), "i"
+        guard = None
+        if guard_branch is not None and draw(st.booleans()):
+            if dtype == "i":
+                fallback = int_source(i)
+            else:
+                fallback = fp_source(i)
+            guard = Guard(guard_branch, fallback)
+        nodes.append(ConfiguredNode(
+            i, Instruction(base + 4 * i, op, rd=rd, rs1=x(11), rs2=x(12)),
+            place(False), src1=src1, src2=src2, guard=guard))
+        dtypes[i] = dtype
+        reg = x(20 + i) if dtype == "i" else f(20 + i)
+        live_out[reg] = i
+
+    if has_store:
+        i = len(nodes)
+        data_pool = [j for j in range(i) if dtypes.get(j) == "i"]
+        data = Operand.node(draw(st.sampled_from(data_pool)))
+        # Offsets near zero overlap the load window — aliasing on purpose.
+        offset = draw(st.integers(-4, 4)) * 4 + 0x40 * draw(
+            st.sampled_from((0, 1)))
+        nodes.append(ConfiguredNode(
+            i, Instruction(base + 4 * i, Opcode.SW, rs1=x(10), rs2=x(7),
+                           imm=offset),
+            place(True), src1=Operand.node(1), src2=data, is_memory=True))
+
+    i = len(nodes)
+    nodes.append(ConfiguredNode(
+        i, Instruction(base + 4 * i, Opcode.BNE, rs1=x(5), rs2=x(0),
+                       imm=-4 * i),
+        place(False), src1=Operand.node(0)))
+    live_out[x(5)] = 0
+
+    program = AcceleratorProgram(config=CFG, nodes=nodes, loop_branch_id=i,
+                                 live_in=live_in, live_out=live_out)
+
+    reg_values = {
+        x(5): iterations,
+        x(10): LOAD_BASE,
+    }
+    for reg in int_regs:
+        reg_values[reg] = draw(st.integers(-(1 << 31), (1 << 31) - 1))
+    for reg in fp_regs:
+        reg_values[reg] = _bits_to_float(draw(st.sampled_from(FLOAT_BITS)))
+    mem_words = [
+        draw(st.sampled_from(FLOAT_BITS + (0x00000007, 0xFFFFFFF9)))
+        for _ in range(8)
+    ]
+    return program, reg_values, mem_words, iterations
+
+
+def build_state(reg_values, mem_words, iterations) -> MachineState:
+    state = MachineState(memory=Memory())
+    for reg, value in reg_values.items():
+        state.write(reg, value)
+    for k in range(iterations + 10):
+        state.memory.store(LOAD_BASE - 0x20 + 4 * k, 4,
+                           mem_words[k % len(mem_words)])
+    return state
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs())
+def test_batched_request_bit_identical_to_interpreter(drawn):
+    program, reg_values, mem_words, iterations = drawn
+    batched = DataflowEngine(program).run(
+        build_state(reg_values, mem_words, iterations),
+        ExecutionOptions(batch=True, batch_block=8))
+    reference = DataflowEngine(program, compiled=False).run(
+        build_state(reg_values, mem_words, iterations),
+        ExecutionOptions())
+    assert batched.iterations == iterations
+    assert run_fingerprint(batched) == run_fingerprint(reference)
