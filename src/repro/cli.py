@@ -98,6 +98,40 @@ def build_parser() -> argparse.ArgumentParser:
     table_cmd.add_argument("--config", default="M-128")
     table_cmd.add_argument("--iterations", type=int, default=256)
 
+    serve_cmd = sub.add_parser(
+        "serve", help="run the long-lived offload service (shared "
+                      "configuration cache across requests)")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8537)
+    serve_cmd.add_argument("--queue", type=int, default=64, metavar="N",
+                           help="admission control: max requests waiting "
+                                "in the job queue (default 64)")
+    serve_cmd.add_argument("--per-client", type=int, default=8, metavar="N",
+                           help="admission control: max in-flight requests "
+                                "per client id (default 8)")
+    serve_cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                           help="executor threads driving the controller "
+                                "pool (default 2)")
+    serve_cmd.add_argument("--cache-capacity", type=int, default=64,
+                           metavar="N",
+                           help="shared configuration-cache entries per "
+                                "chip (default 64)")
+    serve_cmd.add_argument("--cache-policy", choices=["fifo", "lru"],
+                           default="lru",
+                           help="shared-cache eviction policy (default lru)")
+    serve_cmd.add_argument("--metrics-interval", type=float, default=0.0,
+                           metavar="S",
+                           help="print interval service stats every S "
+                                "seconds (0: only on shutdown)")
+    serve_cmd.add_argument("--self-test", action="store_true",
+                           help="start an in-process service, replay a "
+                                "small Zipfian request mix, assert the "
+                                "shared cache amortized, and exit")
+    serve_cmd.add_argument("--requests", type=int, default=48,
+                           help="request count for --self-test (default 48)")
+    serve_cmd.add_argument("--iterations", type=int, default=64,
+                           help="loop iterations per --self-test request")
+
     sub.add_parser("list", help="list the available kernels")
     return parser
 
@@ -250,6 +284,62 @@ def _render_profile(controller: MesaController, result,
     return "\n".join(lines)
 
 
+def _cmd_serve(args) -> int:
+    """``repro serve``: the offload service (or its CI self-test)."""
+    from .service import run_self_test
+
+    if args.self_test:
+        ok, report = run_self_test(requests=args.requests,
+                                   iterations=args.iterations,
+                                   workers=args.workers)
+        print(report)
+        return 0 if ok else 1
+    return _serve_forever(args)
+
+
+def _serve_forever(args) -> int:
+    import asyncio
+
+    from .harness import format_service_stats
+    from .service import ControllerPool, MesaService, serve
+
+    async def main_loop() -> None:
+        pool = ControllerPool(cache_capacity=args.cache_capacity,
+                              cache_policy=args.cache_policy)
+        service = MesaService(pool=pool, max_queue=args.queue,
+                              max_per_client=args.per_client,
+                              workers=args.workers)
+        await service.start()
+        server = await serve(service, args.host, args.port)
+        address = server.sockets[0].getsockname()
+        print(f"repro serve: listening on {address[0]}:{address[1]} "
+              f"(queue={args.queue}, per-client={args.per_client}, "
+              f"workers={args.workers}, cache={args.cache_capacity} "
+              f"{args.cache_policy})")
+        previous = service.stats()
+        try:
+            while True:
+                interval = args.metrics_interval or 3600.0
+                await asyncio.sleep(interval)
+                if args.metrics_interval:
+                    current = service.stats()
+                    print(f"-- interval ({args.metrics_interval:.0f}s) --")
+                    print(format_service_stats(current - previous))
+                    previous = current
+        finally:
+            server.close()
+            await server.wait_closed()
+            await service.close()
+            print("-- final --")
+            print(format_service_stats(service.stats()))
+
+    try:
+        asyncio.run(main_loop())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _cmd_list() -> str:
     rows = []
     for name in kernel_names():
@@ -280,6 +370,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(_FIG_DRIVERS[args.number](args).render())
     elif args.command == "table":
         print(_TABLE_DRIVERS[args.number](args).render())
+    elif args.command == "serve":
+        return _cmd_serve(args)
     elif args.command == "list":
         print(_cmd_list())
     return 0

@@ -266,23 +266,47 @@ class ConfigCache:
     lookup that presents a digest only hits when the tag matches — an
     address collision is a (conflict) miss, never a wrong configuration.
 
+    Two deployment knobs generalize the hardware model for the service
+    layer (:mod:`repro.service`):
+
+    * ``policy`` — the eviction victim order: ``"fifo"`` (insertion order,
+      the hardware-simple default) or ``"lru"`` (a hit refreshes the
+      entry, so a popularity-skewed request mix keeps its hot regions
+      resident).
+    * ``tag_indexed`` — index entries by the content digest *as well as*
+      the addresses.  Two binaries whose loops collide at the same
+      virtual addresses then occupy distinct entries instead of
+      conflict-thrashing one slot; a hardware cache would pay wider tags
+      for this, a software-managed one gets it for free.
+
     The cache is shared by every core on the chip, so all mutating paths
     take an internal lock; counters (hits/misses/evictions/insertions) are
     monotonic and can be snapshot via :meth:`stats`.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    POLICIES = ("fifo", "lru")
+
+    def __init__(self, capacity: int = 8, policy: str = "fifo",
+                 tag_indexed: bool = False) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(f"unknown eviction policy {policy!r}; "
+                             f"expected one of {self.POLICIES}")
         self.capacity = capacity
-        self._entries: dict[tuple[int, int, str], _CacheEntry] = {}
+        self.policy = policy
+        self.tag_indexed = tag_indexed
+        self._entries: dict[tuple, _CacheEntry] = {}
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.insertions = 0
 
-    def _key(self, start: int, end: int, config_name: str) -> tuple[int, int, str]:
+    def _key(self, start: int, end: int, config_name: str,
+             digest: str | None = None) -> tuple:
+        if self.tag_indexed:
+            return (start, end, config_name, digest)
         return (start, end, config_name)
 
     def __len__(self) -> int:
@@ -305,13 +329,18 @@ class ConfigCache:
                 mismatched digest is a conflict miss.
         """
         with self._lock:
-            entry = self._entries.get(self._key(start, end, config_name))
+            key = self._key(start, end, config_name, digest)
+            entry = self._entries.get(key)
             if entry is None or (digest is not None
                                  and entry.digest is not None
                                  and entry.digest != digest):
                 self.misses += 1
                 return None
             self.hits += 1
+            if self.policy == "lru":
+                # A hit refreshes the entry: eviction takes the dict's
+                # first (least-recently-touched) key.
+                self._entries[key] = self._entries.pop(key)
             return CachedConfiguration(
                 program=entry.program, bitstream=entry.bitstream,
                 cost=entry.cost, sdfg=entry.sdfg,
@@ -328,16 +357,20 @@ class ConfigCache:
         at-capacity cache updates in place.
         """
         bitstream = encode_bitstream(program)
-        key = self._key(start, end, config_name)
+        key = self._key(start, end, config_name, digest)
         with self._lock:
             replaced = key in self._entries
             evicted = False
             if not replaced and len(self._entries) >= self.capacity:
-                # FIFO eviction keeps the hardware simple.
+                # The victim is the dict's first key: insertion order under
+                # FIFO (keeps the hardware simple), least-recently-touched
+                # under LRU (lookup hits refresh entries).
                 oldest = next(iter(self._entries))
                 del self._entries[oldest]
                 self.evictions += 1
                 evicted = True
+            if replaced and self.policy == "lru":
+                del self._entries[key]  # refresh: re-fill counts as a touch
             self._entries[key] = _CacheEntry(
                 program=program, bitstream=bitstream, cost=cost,
                 sdfg=sdfg, memopt_report=memopt_report, digest=digest)

@@ -127,6 +127,16 @@ class MesaOptions:
     #: Consult the configuration cache before translating (§4.3).  Disable
     #: to model a cache-less controller (the per-thread-chip baseline).
     enable_config_cache: bool = True
+    #: Configuration-cache entries the chip retains.
+    cache_capacity: int = 8
+    #: Cache eviction policy: "fifo" (hardware default) or "lru" (a hit
+    #: refreshes the entry — the service deployment's choice).
+    cache_policy: str = "fifo"
+    #: Index cache entries by content digest as well as addresses, so two
+    #: binaries whose loops collide at the same virtual addresses occupy
+    #: distinct entries instead of conflict-thrashing one slot (see
+    #: :class:`~repro.core.configure.ConfigCache`).
+    cache_tag_indexed: bool = False
 
 
 @dataclass
@@ -274,7 +284,10 @@ class MesaController:
         self.cpu_config = cpu_config if cpu_config is not None else CpuConfig()
         self.options = options if options is not None else MesaOptions()
         self.interconnect = build_interconnect(config)
-        self.config_cache = ConfigCache()
+        self.config_cache = ConfigCache(
+            capacity=self.options.cache_capacity,
+            policy=self.options.cache_policy,
+            tag_indexed=self.options.cache_tag_indexed)
         #: Enable per-phase cProfile capture (``repro run --profile``).
         #: Profiling is a single-threaded diagnostic: cProfile registers a
         #: global trace hook, so leave this off when several threads drive

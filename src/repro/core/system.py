@@ -131,13 +131,18 @@ class MesaSystem:
     def __init__(self, config: AcceleratorConfig,
                  cpu_config: CpuConfig | None = None,
                  options: MesaOptions | None = None,
-                 policy: SchedulingPolicy = SchedulingPolicy.FIFO) -> None:
+                 policy: SchedulingPolicy = SchedulingPolicy.FIFO,
+                 controller: MesaController | None = None) -> None:
         self.config = config
         self.cpu_config = cpu_config
         self.options = options
         self.policy = policy
         #: The chip's single MESA controller (shared configuration cache).
-        self.controller = MesaController(config, cpu_config, options)
+        #: Passing ``controller`` shares an existing chip — e.g. one of the
+        #: offload service's pooled controllers (:mod:`repro.service`) —
+        #: so system runs and service requests hit the same cache.
+        self.controller = (controller if controller is not None
+                           else MesaController(config, cpu_config, options))
 
     def run(self, threads: list[ThreadSpec],
             max_workers: int | None = None) -> SystemRun:

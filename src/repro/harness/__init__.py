@@ -40,6 +40,8 @@ from .parallel import (
 )
 from .report import (
     format_cache_stats,
+    format_latency,
+    format_service_stats,
     format_value,
     geomean,
     render_series,
@@ -69,6 +71,8 @@ __all__ = [
     "fig15_pe_scaling",
     "fig16_amortization",
     "format_cache_stats",
+    "format_latency",
+    "format_service_stats",
     "format_value",
     "geomean",
     "render_series",

@@ -10,9 +10,11 @@ from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core import CacheStats
+    from ..service import HistogramSnapshot, ServiceStats
 
 __all__ = ["render_table", "render_series", "format_value",
-           "format_cache_stats", "geomean"]
+           "format_cache_stats", "format_latency", "format_service_stats",
+           "geomean"]
 
 
 def format_value(value: Any) -> str:
@@ -40,6 +42,35 @@ def format_cache_stats(stats: "CacheStats") -> str:
     if stats.lookups:
         line += f" ({stats.hit_rate:.1%} hit rate)"
     return line
+
+
+def format_latency(hist: "HistogramSnapshot") -> str:
+    """One-line ``count / mean / p50 / p99`` summary of a histogram."""
+    if not hist.count:
+        return "n=0"
+    return (f"n={hist.count} mean={hist.mean * 1e3:.2f}ms "
+            f"p50={hist.p50 * 1e3:.2f}ms p99={hist.p99 * 1e3:.2f}ms")
+
+
+def format_service_stats(stats: "ServiceStats") -> str:
+    """Multi-line dashboard block of one offload-service snapshot."""
+    lines = [
+        f"requests:   submitted={stats.submitted} admitted={stats.admitted} "
+        f"completed={stats.completed} failed={stats.failed} "
+        f"cancelled={stats.cancelled}",
+        f"admission:  rejected_queue_full={stats.rejected_queue_full} "
+        f"rejected_client_quota={stats.rejected_client_quota}",
+        f"amortized:  accelerated={stats.accelerated} "
+        f"cache_hits={stats.cache_hits} coalesced={stats.coalesced}",
+        f"cache:      {format_cache_stats(stats.cache)}",
+        f"queue:      depth={stats.queue_depth} inflight={stats.inflight}",
+        f"throughput: {stats.throughput:.1f} req/s over "
+        f"{stats.uptime_seconds:.2f}s",
+    ]
+    for name in sorted(stats.latency):
+        lines.append(f"latency[{name}]: "
+                     f"{format_latency(stats.latency[name])}")
+    return "\n".join(lines)
 
 
 def render_table(headers: Sequence[str],

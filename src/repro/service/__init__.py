@@ -1,0 +1,60 @@
+"""MESA-as-a-service: the long-lived offload server.
+
+Today's CLI runs are one-shot; this package is the deployment model the
+paper's amortization argument implies — one chip, one shared
+configuration cache, many concurrent offload streams:
+
+* :class:`MesaService` — asyncio server: bounded queue, admission control
+  with per-client fairness, request coalescing (identical in-flight
+  regions translate once), thread-pool execution;
+* :class:`ControllerPool` — one shared controller per chip/backend;
+* :class:`ServiceStats` / :class:`HistogramSnapshot` — monotonic,
+  subtractable metrics snapshots for interval reporting;
+* :func:`zipfian_stream` — popularity-skewed request mixes;
+* :func:`run_self_test` / :func:`serve` — CI smoke and the TCP JSON-lines
+  front end behind ``repro serve``.
+"""
+
+from .metrics import (
+    BUCKET_BOUNDS,
+    HistogramSnapshot,
+    LatencyHistogram,
+    ServiceStats,
+)
+from .net import (
+    SELF_TEST_KERNELS,
+    request_once,
+    response_to_json,
+    run_self_test,
+    serve,
+    stats_to_json,
+)
+from .server import (
+    AdmissionError,
+    ControllerPool,
+    MesaService,
+    OffloadRequest,
+    OffloadResponse,
+)
+from .workload import popularity_tier, zipf_weights, zipfian_stream
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "HistogramSnapshot",
+    "LatencyHistogram",
+    "ServiceStats",
+    "SELF_TEST_KERNELS",
+    "request_once",
+    "response_to_json",
+    "run_self_test",
+    "serve",
+    "stats_to_json",
+    "AdmissionError",
+    "ControllerPool",
+    "MesaService",
+    "OffloadRequest",
+    "OffloadResponse",
+    "popularity_tier",
+    "zipf_weights",
+    "zipfian_stream",
+]

@@ -1,0 +1,210 @@
+"""Wire front end and self-test for the offload service.
+
+The protocol is JSON lines over TCP — one request object per line, one
+response object per line, stdlib-only on both ends::
+
+    {"op": "offload", "kernel": "nn", "iterations": 96, "config": "M-128",
+     "client": "c1"}
+    {"op": "stats"}
+    {"op": "ping"}
+
+``offload`` responses carry the :class:`~repro.service.server
+.OffloadResponse` fields; ``stats`` returns the monotonic counters plus
+p50/p99 of the main latency histograms.  Malformed input produces
+``{"status": "error", "reason": ...}`` instead of dropping the
+connection, and one connection may pipeline any number of requests.
+
+:func:`run_self_test` is the CI smoke: start a service in-process, replay
+a small Zipfian mix, assert the shared cache actually amortized (hit rate
+> 0, every request completed), and shut down cleanly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from .metrics import ServiceStats
+from .server import MesaService, OffloadRequest, OffloadResponse
+from .workload import zipfian_stream
+
+__all__ = ["response_to_json", "stats_to_json", "serve", "request_once",
+           "run_self_test", "SELF_TEST_KERNELS"]
+
+
+def response_to_json(response: OffloadResponse) -> dict[str, Any]:
+    return {
+        "status": response.status,
+        "label": response.label,
+        "client": response.client,
+        "reason": response.reason,
+        "accelerated": response.accelerated,
+        "cache_hit": response.cache_hit,
+        "coalesced": response.coalesced,
+        "speedup": response.speedup,
+        "total_cycles": response.total_cycles,
+        "queue_seconds": response.queue_seconds,
+        "execute_seconds": response.execute_seconds,
+        "total_seconds": response.total_seconds,
+    }
+
+
+def stats_to_json(stats: ServiceStats) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "submitted": stats.submitted,
+        "admitted": stats.admitted,
+        "rejected_queue_full": stats.rejected_queue_full,
+        "rejected_client_quota": stats.rejected_client_quota,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "cancelled": stats.cancelled,
+        "coalesced": stats.coalesced,
+        "accelerated": stats.accelerated,
+        "cache_hits": stats.cache_hits,
+        "queue_depth": stats.queue_depth,
+        "inflight": stats.inflight,
+        "uptime_seconds": stats.uptime_seconds,
+        "throughput": stats.throughput,
+        "cache": {
+            "hits": stats.cache.hits,
+            "misses": stats.cache.misses,
+            "evictions": stats.cache.evictions,
+            "insertions": stats.cache.insertions,
+            "hit_rate": stats.cache.hit_rate,
+        },
+        "latency": {},
+    }
+    for name, hist in stats.latency.items():
+        payload["latency"][name] = {
+            "count": hist.count,
+            "mean": hist.mean,
+            "p50": hist.p50,
+            "p99": hist.p99,
+        }
+    return payload
+
+
+def _offload_request(payload: dict[str, Any]) -> OffloadRequest:
+    from ..workloads import kernel_names
+
+    name = payload.get("kernel")
+    if name not in kernel_names():
+        raise ValueError(f"unknown kernel {name!r}")
+    return OffloadRequest.for_kernel(
+        name,
+        iterations=int(payload.get("iterations", 64)),
+        config=str(payload.get("config", "M-128")),
+        client=str(payload.get("client", "remote")))
+
+
+async def _handle_connection(service: MesaService,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                payload = json.loads(line)
+                op = payload.get("op", "offload")
+                if op == "ping":
+                    reply: dict[str, Any] = {"status": "ok"}
+                elif op == "stats":
+                    reply = stats_to_json(service.stats())
+                elif op == "offload":
+                    response = await service.offload(
+                        _offload_request(payload))
+                    reply = response_to_json(response)
+                else:
+                    raise ValueError(f"unknown op {op!r}")
+            except (ValueError, KeyError, TypeError) as exc:
+                reply = {"status": "error", "reason": str(exc)}
+            writer.write(json.dumps(reply).encode() + b"\n")
+            await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover
+            pass
+
+
+async def serve(service: MesaService, host: str = "127.0.0.1",
+                port: int = 8537) -> asyncio.AbstractServer:
+    """Start the TCP front end; the caller owns both lifecycles."""
+    return await asyncio.start_server(
+        lambda r, w: _handle_connection(service, r, w), host, port)
+
+
+async def request_once(host: str, port: int,
+                       payload: dict[str, Any]) -> dict[str, Any]:
+    """One request/response round trip (client helper; tests and tools)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await reader.readline()
+        return json.loads(line)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+#: Popular accelerating kernels used by the self-test's Zipfian mix (rank
+#: order = popularity order).
+SELF_TEST_KERNELS = ("nn", "pathfinder", "hotspot", "kmeans", "lud",
+                     "backprop")
+
+
+async def _self_test(requests: int, iterations: int, workers: int,
+                     seed: int) -> tuple[bool, str]:
+    from ..harness.report import format_service_stats
+
+    service = MesaService(max_queue=max(requests, 1),
+                          max_per_client=max(requests, 1),
+                          workers=workers)
+    await service.start()
+    stream = zipfian_stream(SELF_TEST_KERNELS, requests, s=1.1, seed=seed)
+    responses = await asyncio.gather(*[
+        service.offload(OffloadRequest.for_kernel(
+            name, iterations=iterations, client=f"client-{index % 4}"))
+        for index, name in enumerate(stream)])
+    stats = service.stats()
+    await service.close()
+
+    failures = [r for r in responses if not r.ok]
+    checks = [
+        (not failures,
+         f"all {len(responses)} requests completed"
+         if not failures else
+         f"{len(failures)} requests did not complete "
+         f"({failures[0].status}: {failures[0].reason})"),
+        (stats.cache.hits > 0,
+         f"shared cache amortized: {stats.cache.hits} hits "
+         f"({stats.hit_rate:.1%} hit rate)"),
+        (stats.queue_depth == 0 and stats.inflight == 0,
+         "queue drained and no jobs in flight after close"),
+        (service.closed, "service shut down cleanly"),
+    ]
+    ok = all(passed for passed, _ in checks)
+    lines = [f"service self-test: {requests} requests, "
+             f"Zipf(1.1) over {len(SELF_TEST_KERNELS)} kernels, "
+             f"{iterations} iterations, workers={workers}"]
+    lines += [f"  [{'ok' if passed else 'FAIL'}] {message}"
+              for passed, message in checks]
+    lines.append("")
+    lines.append(format_service_stats(stats))
+    return ok, "\n".join(lines)
+
+
+def run_self_test(requests: int = 48, iterations: int = 64,
+                  workers: int = 2, seed: int = 7) -> tuple[bool, str]:
+    """Replay a Zipfian mix through an in-process service (CI smoke).
+
+    Returns ``(ok, report)``: ``ok`` is True only if every request
+    completed, the shared cache recorded at least one hit, and shutdown
+    left the queue empty.
+    """
+    return asyncio.run(_self_test(requests, iterations, workers, seed))

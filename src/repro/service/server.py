@@ -1,0 +1,450 @@
+"""MESA-as-a-service: a long-lived asyncio offload server.
+
+One deployed chip amortizes configuration cost across *every* request it
+ever serves, not just across the iterations of one run — that is the
+paper's Table 2 / Fig. 16 story at system scale.  :class:`MesaService`
+models that deployment:
+
+* a **controller pool** (:class:`ControllerPool`) holds one
+  :class:`~repro.core.controller.MesaController` per chip (backend
+  config), so every request targeting the same backend shares one
+  configuration cache — by default LRU-managed and content-digest-indexed,
+  the deployment knobs of :class:`~repro.core.configure.ConfigCache`;
+* a **bounded job queue with admission control**: a request is rejected
+  *with a reason* when the queue is full or its client already has its
+  quota in flight (per-client fairness — one chatty client cannot starve
+  the queue), never silently dropped;
+* **request coalescing** generalizes ``MesaSystem``'s two-wave trick to a
+  stream: a request whose region is identical (same content digest, same
+  backend) to one currently being configured waits for that *leader*
+  instead of starting a duplicate translation, then executes against the
+  freshly warmed cache — N identical in-flight regions cost one
+  translation, one miss, N−1 hits;
+* a **metrics surface**: monotonic counters plus log-bucketed latency
+  histograms (queue wait, execute wall split cold/warm by cache outcome,
+  per-pipeline-phase seconds), snapshot via :meth:`MesaService.stats`
+  and subtractable for interval reporting
+  (:class:`~repro.service.metrics.ServiceStats`).
+
+Execution itself runs on a thread pool: ``MesaController.execute`` is
+thread-safe (locked cache, thread-local phase accumulator), exactly the
+property ``MesaSystem`` already relies on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from threading import Lock
+from typing import Callable
+
+from ..accel import mesa_config
+from ..core import CacheStats, MesaController, MesaOptions, region_digest
+from ..cpu import CpuConfig
+from ..isa import MachineState, Program
+from .metrics import LatencyHistogram, ServiceStats
+
+__all__ = ["AdmissionError", "OffloadRequest", "OffloadResponse",
+           "ControllerPool", "MesaService"]
+
+
+class AdmissionError(RuntimeError):
+    """A request the service refused to queue; ``reason`` says why."""
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class OffloadRequest:
+    """One client's offload request: a binary plus its fresh-state factory."""
+
+    program: Program
+    state_factory: Callable[[], MachineState]
+    client: str = "local"
+    config: str = "M-128"
+    parallelizable: bool = False
+    #: Display name (e.g. the kernel name); purely informational.
+    label: str = ""
+
+    @classmethod
+    def for_kernel(cls, name: str, iterations: int = 64,
+                   config: str = "M-128",
+                   client: str = "local") -> "OffloadRequest":
+        """Convenience constructor from a named Rodinia kernel."""
+        from ..workloads import build_kernel
+
+        kernel = build_kernel(name, iterations=iterations)
+        return cls(program=kernel.program,
+                   state_factory=kernel.state_factory,
+                   client=client, config=config,
+                   parallelizable=kernel.parallelizable, label=name)
+
+    def coalesce_key(self) -> tuple[str, str]:
+        """Identity of this request's region work: (backend, content).
+
+        Two requests with the same key would translate the exact same
+        instruction bytes for the exact same backend — the service runs
+        that translation once.
+        """
+        digest = region_digest(self.program, self.program.base_address,
+                               self.program.end_address)
+        return (self.config, digest)
+
+
+@dataclass
+class OffloadResponse:
+    """Outcome of one request, with its end-to-end latency breakdown."""
+
+    label: str
+    client: str
+    status: str  # "completed" | "rejected" | "failed" | "cancelled"
+    reason: str = ""
+    accelerated: bool = False
+    cache_hit: bool = False
+    coalesced: bool = False
+    speedup: float = 0.0
+    total_cycles: float = 0.0
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    total_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "completed"
+
+
+class ControllerPool:
+    """One shared :class:`MesaController` per chip (backend config).
+
+    The pool is the unit of sharing: every request the service routes to
+    chip ``M-128`` lands on the same controller, hence the same
+    configuration cache.  Controllers are built lazily on first use with
+    service-grade cache settings (larger, LRU, digest-indexed) derived
+    from ``base_options``; :meth:`cache_stats` sums the monotonic cache
+    counters across chips.
+    """
+
+    def __init__(self, base_options: MesaOptions | None = None,
+                 cpu_config: CpuConfig | None = None,
+                 cache_capacity: int = 64,
+                 cache_policy: str = "lru",
+                 cache_tag_indexed: bool = True,
+                 factory: Callable[[str], MesaController] | None = None
+                 ) -> None:
+        self.options = dataclasses.replace(
+            base_options if base_options is not None else MesaOptions(),
+            cache_capacity=cache_capacity,
+            cache_policy=cache_policy,
+            cache_tag_indexed=cache_tag_indexed)
+        self.cpu_config = cpu_config
+        self._factory = factory
+        self._controllers: dict[str, MesaController] = {}
+        self._lock = Lock()
+
+    def controller(self, config_name: str) -> MesaController:
+        with self._lock:
+            controller = self._controllers.get(config_name)
+            if controller is None:
+                if self._factory is not None:
+                    controller = self._factory(config_name)
+                else:
+                    controller = MesaController(
+                        mesa_config(config_name), self.cpu_config,
+                        self.options)
+                self._controllers[config_name] = controller
+            return controller
+
+    def chips(self) -> list[str]:
+        with self._lock:
+            return list(self._controllers)
+
+    def cache_stats(self) -> CacheStats:
+        """Monotonic shared-cache counters summed over every chip."""
+        with self._lock:
+            controllers = list(self._controllers.values())
+        total = CacheStats()
+        for controller in controllers:
+            total = total + controller.config_cache.stats()
+        return total
+
+
+@dataclass
+class _Job:
+    request: OffloadRequest
+    future: asyncio.Future
+    submitted_at: float
+    started_at: float = 0.0
+    coalesced: bool = False
+
+
+class MesaService:
+    """The asyncio offload server; see the module docstring for the model.
+
+    Lifecycle::
+
+        service = MesaService(workers=2)
+        await service.start()
+        response = await service.offload(OffloadRequest.for_kernel("nn"))
+        await service.close()
+
+    ``offload`` never raises for service-level refusals — a rejected
+    request comes back as an :class:`OffloadResponse` with
+    ``status="rejected"`` and the admission reason, matching what a
+    remote client would see on the wire.
+    """
+
+    def __init__(self, pool: ControllerPool | None = None,
+                 max_queue: int = 64, max_per_client: int = 8,
+                 workers: int = 2, coalesce: bool = True) -> None:
+        if max_queue < 1 or max_per_client < 1 or workers < 1:
+            raise ValueError("max_queue, max_per_client, and workers must "
+                             "be positive")
+        self.pool = pool if pool is not None else ControllerPool()
+        self.max_queue = max_queue
+        self.max_per_client = max_per_client
+        self.workers = workers
+        self.coalesce = coalesce
+        self._queue: asyncio.Queue[_Job] = asyncio.Queue()
+        self._worker_tasks: list[asyncio.Task] = []
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight: dict[tuple[str, str], asyncio.Event] = {}
+        self._client_load: dict[str, int] = {}
+        self._running_jobs = 0
+        self._counters = {name: 0 for name in (
+            "submitted", "admitted", "rejected_queue_full",
+            "rejected_client_quota", "completed", "failed", "cancelled",
+            "coalesced", "accelerated", "cache_hits")}
+        self._latency: dict[str, LatencyHistogram] = {}
+        self._started_at = time.perf_counter()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker tasks (idempotent)."""
+        if self._worker_tasks:
+            return
+        self._started_at = time.perf_counter()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="mesa-service")
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.workers)]
+
+    async def close(self) -> None:
+        """Drain admitted jobs, then stop workers and the executor."""
+        self._closed = True
+        if self._worker_tasks:
+            await self._queue.join()
+        for task in self._worker_tasks:
+            task.cancel()
+        if self._worker_tasks:
+            await asyncio.gather(*self._worker_tasks,
+                                 return_exceptions=True)
+        self._worker_tasks = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: OffloadRequest) -> asyncio.Future:
+        """Admit a request; returns the future its response resolves on.
+
+        Raises :class:`AdmissionError` when the service is shutting down,
+        the job queue is at capacity, or the client has exhausted its
+        in-flight quota.  Rejection is counted but costs the service
+        nothing else — that is the point of admission control.
+        """
+        self._counters["submitted"] += 1
+        if self._closed:
+            raise AdmissionError("service is shutting down")
+        if not self._worker_tasks:
+            raise AdmissionError("service is not started")
+        load = self._client_load.get(request.client, 0)
+        if load >= self.max_per_client:
+            self._counters["rejected_client_quota"] += 1
+            raise AdmissionError(
+                f"client {request.client!r} quota exceeded "
+                f"({load} in flight, limit {self.max_per_client})")
+        waiting = self._queue.qsize()
+        if waiting >= self.max_queue:
+            self._counters["rejected_queue_full"] += 1
+            raise AdmissionError(
+                f"queue full ({waiting} waiting, limit {self.max_queue})")
+        self._counters["admitted"] += 1
+        self._client_load[request.client] = load + 1
+        job = _Job(request=request,
+                   future=asyncio.get_running_loop().create_future(),
+                   submitted_at=time.perf_counter())
+        self._queue.put_nowait(job)
+        return job.future
+
+    async def offload(self, request: OffloadRequest) -> OffloadResponse:
+        """Submit and await one request; refusals become responses.
+
+        Cancelling the awaiting task cancels the job (a job cancelled
+        while still queued is skipped by the workers; one already
+        executing finishes but its response is discarded) — the
+        cancellation propagates to the caller as usual.
+        """
+        try:
+            future = self.submit(request)
+        except AdmissionError as exc:
+            return OffloadResponse(label=request.label,
+                                   client=request.client,
+                                   status="rejected", reason=exc.reason)
+        return await future
+
+    # -- metrics --------------------------------------------------------------
+
+    def stats(self) -> ServiceStats:
+        """Monotonic snapshot; subtract an earlier one for an interval."""
+        return ServiceStats(
+            **self._counters,
+            cache=self.pool.cache_stats(),
+            uptime_seconds=time.perf_counter() - self._started_at,
+            queue_depth=self._queue.qsize(),
+            inflight=self._running_jobs,
+            latency={name: hist.snapshot()
+                     for name, hist in self._latency.items()},
+        )
+
+    def stats_delta(self, since: ServiceStats) -> ServiceStats:
+        """Interval metrics since an earlier :meth:`stats` snapshot."""
+        return self.stats() - since
+
+    def _record(self, name: str, seconds: float) -> None:
+        hist = self._latency.get(name)
+        if hist is None:
+            hist = self._latency[name] = LatencyHistogram()
+        hist.record(seconds)
+
+    # -- execution ------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            job = await self._queue.get()
+            try:
+                await self._run_job(job)
+            finally:
+                self._queue.task_done()
+
+    def _release(self, client: str) -> None:
+        load = self._client_load.get(client, 0) - 1
+        if load > 0:
+            self._client_load[client] = load
+        else:
+            self._client_load.pop(client, None)
+
+    async def _run_job(self, job: _Job) -> None:
+        request = job.request
+        try:
+            if job.future.cancelled():
+                self._counters["cancelled"] += 1
+                return
+            self._running_jobs += 1
+            try:
+                await self._execute(job)
+            finally:
+                self._running_jobs -= 1
+        finally:
+            self._release(request.client)
+
+    async def _execute(self, job: _Job) -> None:
+        request = job.request
+        job.started_at = time.perf_counter()
+        self._record("queue_wait", job.started_at - job.submitted_at)
+
+        key = request.coalesce_key() if self.coalesce else None
+        leader = self._inflight.get(key) if key is not None else None
+        barrier: asyncio.Event | None = None
+        if leader is not None:
+            # Identical region already being configured: wait for its
+            # leader, then execute against the warmed cache (N identical
+            # in-flight regions -> one translation, one miss, N-1 hits).
+            job.coalesced = True
+            self._counters["coalesced"] += 1
+            await leader.wait()
+            if job.future.cancelled():
+                self._counters["cancelled"] += 1
+                return
+        elif key is not None:
+            barrier = asyncio.Event()
+            self._inflight[key] = barrier
+
+        controller = self.pool.controller(request.config)
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        try:
+            result = await loop.run_in_executor(
+                self._executor,
+                partial(controller.execute, request.program,
+                        request.state_factory,
+                        parallelizable=request.parallelizable))
+        except Exception as exc:
+            self._counters["failed"] += 1
+            self._finish(job, OffloadResponse(
+                label=request.label, client=request.client,
+                status="failed",
+                reason=f"{type(exc).__name__}: {exc}",
+                coalesced=job.coalesced,
+                queue_seconds=job.started_at - job.submitted_at,
+                total_seconds=time.perf_counter() - job.submitted_at))
+            return
+        finally:
+            if barrier is not None:
+                # Release followers even on failure: they re-translate
+                # themselves rather than wait forever.
+                del self._inflight[key]
+                barrier.set()
+        done = time.perf_counter()
+        execute_seconds = done - start
+
+        self._counters["completed"] += 1
+        if result.accelerated:
+            self._counters["accelerated"] += 1
+        if result.config_cache_hit:
+            self._counters["cache_hits"] += 1
+        self._record("execute", execute_seconds)
+        # Split the execute path three ways so cold-vs-warm quantiles
+        # compare only runs that actually went through the config
+        # pipeline: CPU-only regions never consult the cache and would
+        # otherwise pollute the cold histogram.
+        if not result.accelerated:
+            self._record("execute_cpu", execute_seconds)
+        elif result.config_cache_hit:
+            self._record("execute_warm", execute_seconds)
+        else:
+            self._record("execute_cold", execute_seconds)
+        self._record("total", done - job.submitted_at)
+        for phase, seconds in result.phase_seconds.items():
+            self._record(f"phase:{phase}", seconds)
+
+        self._finish(job, OffloadResponse(
+            label=request.label, client=request.client,
+            status="completed", reason=result.reason,
+            accelerated=result.accelerated,
+            cache_hit=result.config_cache_hit,
+            coalesced=job.coalesced,
+            speedup=result.speedup_vs_single_core,
+            total_cycles=result.total_cycles,
+            queue_seconds=job.started_at - job.submitted_at,
+            execute_seconds=execute_seconds,
+            total_seconds=done - job.submitted_at))
+
+    def _finish(self, job: _Job, response: OffloadResponse) -> None:
+        if job.future.cancelled():
+            self._counters["cancelled"] += 1
+        elif not job.future.done():
+            job.future.set_result(response)

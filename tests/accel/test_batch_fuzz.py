@@ -14,6 +14,7 @@ This seeds the ROADMAP's random-kernel fuzzing item.
 
 from __future__ import annotations
 
+import os
 import struct
 
 import pytest
@@ -34,6 +35,10 @@ from .test_plan_equivalence import run_fingerprint
 
 hypothesis = pytest.importorskip("hypothesis")
 from hypothesis import given, settings, strategies as st  # noqa: E402
+
+#: Nightly CI exports REPRO_FUZZ_SCALE to multiply every example budget
+#: (10x on the scheduled run); the default keeps local runs fast.
+FUZZ_SCALE = int(os.environ.get("REPRO_FUZZ_SCALE", "1"))
 
 CFG = AcceleratorConfig(rows=16, cols=8)
 LOAD_BASE = 0x1000
@@ -213,7 +218,7 @@ def build_state(reg_values, mem_words, iterations) -> MachineState:
     return state
 
 
-@settings(max_examples=60, deadline=None)
+@settings(max_examples=60 * FUZZ_SCALE, deadline=None)
 @given(programs())
 def test_batched_request_bit_identical_to_interpreter(drawn):
     program, reg_values, mem_words, iterations = drawn

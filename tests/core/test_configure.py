@@ -282,6 +282,57 @@ class TestConfigCache:
         assert cache.lookup(0x1000, 0x1020, "M-64") is not None
         assert cache.misses == 1 and cache.hits == 2
 
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigCache(policy="random")
+
+    def test_lru_hit_refreshes_entry(self):
+        """Under LRU a lookup hit protects the entry: the victim is the
+        least-recently-touched key, not the oldest insertion."""
+        program, cost = self.make_entry()
+        cache = ConfigCache(capacity=2, policy="lru")
+        cache.insert(0x1000, 0x1020, "M-64", program, cost)
+        cache.insert(0x2000, 0x2020, "M-64", program, cost)
+        assert cache.lookup(0x1000, 0x1020, "M-64") is not None  # refresh
+        cache.insert(0x3000, 0x3020, "M-64", program, cost)      # evicts
+        assert cache.lookup(0x1000, 0x1020, "M-64") is not None, (
+            "the refreshed entry must survive")
+        assert cache.lookup(0x2000, 0x2020, "M-64") is None, (
+            "the least-recently-touched entry is the victim")
+
+    def test_fifo_ignores_hits_for_eviction(self):
+        program, cost = self.make_entry()
+        cache = ConfigCache(capacity=2, policy="fifo")
+        cache.insert(0x1000, 0x1020, "M-64", program, cost)
+        cache.insert(0x2000, 0x2020, "M-64", program, cost)
+        assert cache.lookup(0x1000, 0x1020, "M-64") is not None
+        cache.insert(0x3000, 0x3020, "M-64", program, cost)
+        assert cache.lookup(0x1000, 0x1020, "M-64") is None, (
+            "FIFO evicts the oldest insertion regardless of hits")
+
+    def test_tag_indexed_collisions_coexist(self):
+        """Digest-indexed mode: two binaries whose loops collide at the
+        same virtual addresses occupy distinct entries (the service
+        deployment) instead of overwriting one slot."""
+        program, cost = self.make_entry()
+        cache = ConfigCache(tag_indexed=True)
+        cache.put(0x1000, 0x1020, "M-64", program, cost, digest="aaaa")
+        cache.put(0x1000, 0x1020, "M-64", program, cost, digest="bbbb")
+        assert len(cache) == 2
+        assert cache.lookup(0x1000, 0x1020, "M-64", digest="aaaa") is not None
+        assert cache.lookup(0x1000, 0x1020, "M-64", digest="bbbb") is not None
+        assert cache.evictions == 0
+
+    def test_address_indexed_collisions_overwrite(self):
+        """The hardware default keeps one entry per address key: a second
+        binary at the same addresses replaces the first (conflict)."""
+        program, cost = self.make_entry()
+        cache = ConfigCache()
+        cache.put(0x1000, 0x1020, "M-64", program, cost, digest="aaaa")
+        cache.put(0x1000, 0x1020, "M-64", program, cost, digest="bbbb")
+        assert len(cache) == 1
+        assert cache.lookup(0x1000, 0x1020, "M-64", digest="aaaa") is None
+
     def test_stats_snapshot_and_delta(self):
         cache = ConfigCache()
         program, cost = self.make_entry()

@@ -117,6 +117,20 @@ class TestSharedControllerCache:
             "the chip's cache must survive between run() calls")
         assert second.outcomes[0].config_cache_hit
 
+    def test_external_controller_shared_across_systems(self):
+        """Passing ``controller=`` shares one chip between two systems —
+        the service deployment, where pooled controllers outlive any one
+        scheduling run."""
+        from repro.core import MesaController
+
+        chip = MesaController(M_128)
+        first = MesaSystem(M_128, controller=chip).run([thread("nn")])
+        assert first.cache_stats.hits == 0
+        second = MesaSystem(M_128, controller=chip).run([thread("nn")])
+        assert second.cache_stats.hits == 1, (
+            "a fresh MesaSystem around the same chip must hit its cache")
+        assert chip.config_cache.stats().insertions == 1
+
     def test_concurrent_evaluation_deterministic(self):
         threads = [thread("nn"), thread("kmeans"), thread("nn")]
         first = MesaSystem(M_128).run(threads)

@@ -6,8 +6,12 @@ the fabric is *all* the fabric has — decode(encode(program)) must execute
 exactly like the in-memory configuration, timing included.
 """
 
+import os
+
 import pytest
 from hypothesis import given, settings, strategies as st
+
+FUZZ_SCALE = int(os.environ.get("REPRO_FUZZ_SCALE", "1"))
 
 from repro.accel import (
     DataflowEngine,
@@ -36,7 +40,7 @@ def mapped_program(params: GeneratorParams):
 
 
 class TestBitstreamRoundTripProperty:
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12 * FUZZ_SCALE, deadline=None)
     @given(seed=st.integers(0, 10_000),
            loads=st.integers(1, 4),
            ops=st.integers(2, 10),
@@ -67,7 +71,7 @@ class TestBitstreamRoundTripProperty:
         assert i1 == i2
         assert s1 == s2, "architectural state must survive the bitstream"
 
-    @settings(max_examples=12, deadline=None)
+    @settings(max_examples=12 * FUZZ_SCALE, deadline=None)
     @given(seed=st.integers(0, 10_000))
     def test_bitstream_is_deterministic(self, seed):
         params = GeneratorParams(seed=seed, iterations=8)

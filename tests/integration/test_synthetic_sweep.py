@@ -6,8 +6,12 @@ renamer, the mapper, the memory optimizations, and the engine that no
 hand-written kernel would.
 """
 
+import os
+
 import pytest
 from hypothesis import given, settings, strategies as st
+
+FUZZ_SCALE = int(os.environ.get("REPRO_FUZZ_SCALE", "1"))
 
 from repro.accel import M_128
 from repro.core import MesaController, MesaOptions
@@ -26,7 +30,7 @@ def run_both(params: GeneratorParams, options: MesaOptions | None = None):
 
 
 class TestSyntheticEquivalence:
-    @settings(max_examples=15, deadline=None)
+    @settings(max_examples=15 * FUZZ_SCALE, deadline=None)
     @given(seed=st.integers(0, 10_000),
            loads=st.integers(1, 4),
            ops=st.integers(2, 12),
@@ -44,7 +48,7 @@ class TestSyntheticEquivalence:
                     == reference.memory.load_word(0x30000 + offset)), (
                 f"seed={seed}: memory diverges at +{offset:#x}")
 
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=8 * FUZZ_SCALE, deadline=None)
     @given(seed=st.integers(0, 10_000))
     def test_memopt_never_changes_results(self, seed):
         params = GeneratorParams(loads=3, compute_ops=8, stores=2,
@@ -54,7 +58,7 @@ class TestSyntheticEquivalence:
         assert (with_opt.final_state.snapshot()
                 == without.final_state.snapshot())
 
-    @settings(max_examples=8, deadline=None)
+    @settings(max_examples=8 * FUZZ_SCALE, deadline=None)
     @given(seed=st.integers(0, 10_000), fp=st.floats(0.0, 1.0))
     def test_fp_heavy_kernels_map_and_run(self, seed, fp):
         params = GeneratorParams(loads=2, compute_ops=10, stores=1,

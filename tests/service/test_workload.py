@@ -1,0 +1,54 @@
+"""Tests for the Zipfian request-mix generator."""
+
+import pytest
+
+from repro.service import popularity_tier, zipf_weights, zipfian_stream
+
+KERNELS = ["nn", "pathfinder", "hotspot", "kmeans", "lud", "backprop"]
+
+
+class TestZipfWeights:
+    def test_normalized_and_decreasing(self):
+        weights = zipf_weights(10, s=1.1)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_skew_scales_with_s(self):
+        flat = zipf_weights(10, s=0.5)
+        steep = zipf_weights(10, s=2.0)
+        assert steep[0] > flat[0]
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+class TestZipfianStream:
+    def test_deterministic_per_seed(self):
+        a = zipfian_stream(KERNELS, 100, seed=3)
+        b = zipfian_stream(KERNELS, 100, seed=3)
+        c = zipfian_stream(KERNELS, 100, seed=4)
+        assert a == b
+        assert a != c
+
+    def test_only_listed_kernels(self):
+        stream = zipfian_stream(KERNELS, 200, seed=1)
+        assert len(stream) == 200
+        assert set(stream) <= set(KERNELS)
+
+    def test_rank_zero_dominates(self):
+        stream = zipfian_stream(KERNELS, 2000, s=1.1, seed=0)
+        counts = {name: stream.count(name) for name in KERNELS}
+        assert counts[KERNELS[0]] == max(counts.values())
+        assert counts[KERNELS[0]] > counts[KERNELS[-1]]
+
+
+class TestPopularityTier:
+    def test_tiers(self):
+        assert popularity_tier(KERNELS, "nn") == "hot"
+        assert popularity_tier(KERNELS, "hotspot") == "hot"
+        assert popularity_tier(KERNELS, "backprop") == "cold"
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(ValueError):
+            popularity_tier(KERNELS, "quicksort")

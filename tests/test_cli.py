@@ -35,6 +35,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8537
+        assert args.queue == 64
+        assert args.per_client == 8
+        assert args.workers == 2
+        assert args.cache_capacity == 64
+        assert args.cache_policy == "lru"
+        assert args.metrics_interval == 0.0
+        assert not args.self_test
+
+    def test_serve_rejects_bad_policy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--cache-policy", "mru"])
+
 
 class TestCommands:
     def test_run_kernel(self, capsys):
@@ -105,6 +121,13 @@ class TestCommands:
         assert main(["fig", "16"]) == 0
         out = capsys.readouterr().out
         assert "break-even" in out
+
+    def test_serve_self_test(self, capsys):
+        assert main(["serve", "--self-test", "--requests", "10",
+                     "--iterations", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "service self-test:" in out
+        assert "[ok]" in out and "FAIL" not in out
 
     def test_list(self, capsys):
         assert main(["list"]) == 0

@@ -1,7 +1,11 @@
 """Tests for the synthetic kernel generator."""
 
+import os
+
 import pytest
 from hypothesis import given, settings, strategies as st
+
+FUZZ_SCALE = int(os.environ.get("REPRO_FUZZ_SCALE", "1"))
 
 from repro.isa import Executor
 from repro.workloads import GeneratorParams, generate_kernel
@@ -39,7 +43,7 @@ class TestGenerator:
         with pytest.raises(ValueError):
             GeneratorParams(fp_fraction=2.0)
 
-    @settings(max_examples=20, deadline=None)
+    @settings(max_examples=20 * FUZZ_SCALE, deadline=None)
     @given(seed=st.integers(0, 1000),
            loads=st.integers(1, 4),
            ops=st.integers(1, 12),
