@@ -18,11 +18,18 @@ traces — over all 19 Rodinia kernels through an in-process
   would slice a production service's logs;
 * an interval snapshot (``stats_delta``) over the second half of the
   stream, demonstrating that steady-state hit rate exceeds the lifetime
-  average once the cache is populated.
+  average once the cache is populated;
+* a **kill → restart** phase: the service's checkpoint is flushed, the
+  service is torn down, a fresh one warm-restores the snapshot and
+  replays another wave — the post-restore steady-state hit rate must sit
+  within 5 points of the pre-kill steady state, the persistence layer's
+  acceptance bar.
 """
 
 import asyncio
 import statistics
+import tempfile
+from pathlib import Path
 
 from repro.service import (
     ControllerPool,
@@ -36,9 +43,14 @@ from repro.workloads import kernel_names
 from _common import emit, run_once
 
 REQUESTS = 300
+#: Requests replayed against the restored service after the kill.
+REPLAY_REQUESTS = 150
 ITERATIONS = 64
 ZIPF_S = 1.1
 SEED = 11
+#: Post-restore steady-state hit rate must be within this many points of
+#: the pre-kill steady state.
+RESTORE_TOLERANCE = 0.05
 
 
 def _quantile(samples, q):
@@ -51,31 +63,52 @@ def _quantile(samples, q):
 
 async def _drive():
     kernels = kernel_names()  # list order doubles as popularity rank
-    stream = zipfian_stream(kernels, REQUESTS, s=ZIPF_S, seed=SEED)
-    pool = ControllerPool(cache_capacity=64, cache_policy="lru")
-    service = MesaService(pool=pool, max_queue=REQUESTS,
-                          max_per_client=REQUESTS, workers=2)
-    await service.start()
+    stream = zipfian_stream(kernels, REQUESTS + REPLAY_REQUESTS, s=ZIPF_S,
+                            seed=SEED)
+    stream, replay = stream[:REQUESTS], stream[REQUESTS:]
+    with tempfile.TemporaryDirectory(prefix="mesa-bench-") as tmp:
+        snapshot = str(Path(tmp) / "cache.snapshot.json")
+        pool = ControllerPool(cache_capacity=64, cache_policy="lru")
+        service = MesaService(pool=pool, max_queue=REQUESTS,
+                              max_per_client=REQUESTS, workers=2,
+                              checkpoint_path=snapshot)
+        await service.start()
 
-    first, second = stream[: REQUESTS // 2], stream[REQUESTS // 2:]
-    responses = list(await asyncio.gather(*[
-        service.offload(OffloadRequest.for_kernel(
-            name, iterations=ITERATIONS, client="bench"))
-        for name in first]))
-    midpoint = service.stats()
-    responses += list(await asyncio.gather(*[
-        service.offload(OffloadRequest.for_kernel(
-            name, iterations=ITERATIONS, client="bench"))
-        for name in second]))
-    steady = service.stats_delta(midpoint)
-    stats = service.stats()
-    await service.close()
-    return stream, responses, stats, steady
+        first, second = stream[: REQUESTS // 2], stream[REQUESTS // 2:]
+        responses = list(await asyncio.gather(*[
+            service.offload(OffloadRequest.for_kernel(
+                name, iterations=ITERATIONS, client="bench"))
+            for name in first]))
+        midpoint = service.stats()
+        responses += list(await asyncio.gather(*[
+            service.offload(OffloadRequest.for_kernel(
+                name, iterations=ITERATIONS, client="bench"))
+            for name in second]))
+        steady = service.stats_delta(midpoint)
+        stats = service.stats()
+        # Kill: tear the service down (close also flushes the final
+        # checkpoint — the regions survive on disk, nothing else does).
+        await service.close()
+
+        # Restart: a fresh pool, a fresh service, a warm snapshot.
+        restored = MesaService(
+            pool=ControllerPool(cache_capacity=64, cache_policy="lru"),
+            max_queue=REPLAY_REQUESTS, max_per_client=REPLAY_REQUESTS,
+            workers=2, checkpoint_path=snapshot)
+        await restored.start()
+        replay_responses = list(await asyncio.gather(*[
+            restored.offload(OffloadRequest.for_kernel(
+                name, iterations=ITERATIONS, client="bench"))
+            for name in replay]))
+        restart_stats = restored.stats()
+        await restored.close()
+    return (stream, responses, stats, steady, replay_responses,
+            restart_stats)
 
 
 def test_service_amortization(benchmark):
-    stream, responses, stats, steady = run_once(
-        benchmark, lambda: asyncio.run(_drive()))
+    (stream, responses, stats, steady, replay_responses,
+     restart_stats) = run_once(benchmark, lambda: asyncio.run(_drive()))
 
     assert len(responses) == REQUESTS
     assert all(r.ok for r in responses), "every admitted request completes"
@@ -92,6 +125,17 @@ def test_service_amortization(benchmark):
         f"p50 ({cold.p50 * 1e3:.1f} ms)")
     assert steady.hit_rate >= stats.hit_rate, (
         "steady-state hit rate must not trail the lifetime average")
+
+    # -- the persistence claim ---------------------------------------------
+    assert all(r.ok for r in replay_responses)
+    assert restart_stats.regions_restored > 0, (
+        "the restart must warm-restore the shutdown checkpoint")
+    restore_gap = steady.hit_rate - restart_stats.hit_rate
+    assert restore_gap <= RESTORE_TOLERANCE, (
+        f"post-restore steady-state hit rate "
+        f"({restart_stats.hit_rate:.1%}) trails the pre-kill steady state "
+        f"({steady.hit_rate:.1%}) by more than "
+        f"{RESTORE_TOLERANCE:.0%}")
 
     # -- client-observed latency by popularity tier ------------------------
     # Tiered on the execute path: the batch submission above queues all
@@ -120,6 +164,10 @@ def test_service_amortization(benchmark):
         f"  queue wait:     p50={_quantile(queue_waits, 0.50):.2f}s "
         f"p99={_quantile(queue_waits, 0.99):.2f}s "
         f"(batch of {REQUESTS // 2} per wave, workers=2)",
+        f"  kill-restart:   {restart_stats.regions_restored} regions "
+        f"restored; replay of {len(replay_responses)} requests hit "
+        f"{restart_stats.hit_rate:.1%} (pre-kill steady state "
+        f"{steady.hit_rate:.1%})",
         "  client execute latency by popularity tier:",
     ]
     for tier in ("hot", "warm", "cold"):

@@ -112,6 +112,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--workers", type=int, default=2, metavar="N",
                            help="executor threads driving the controller "
                                 "pool (default 2)")
+    serve_cmd.add_argument("--execution", choices=["thread", "process"],
+                           default="thread",
+                           help="execution backend: thread pool (shared "
+                                "cache, GIL-bound) or supervised worker "
+                                "processes (crash isolation, true "
+                                "parallelism; default thread)")
+    serve_cmd.add_argument("--request-timeout", type=float, default=None,
+                           metavar="S",
+                           help="default end-to-end deadline per request "
+                                "in seconds (queue wait + execute; "
+                                "default: none)")
+    serve_cmd.add_argument("--checkpoint", default=None, metavar="PATH",
+                           help="persist the configuration cache to this "
+                                "snapshot file (warm-restored at boot, "
+                                "flushed at shutdown)")
+    serve_cmd.add_argument("--checkpoint-interval", type=float, default=0.0,
+                           metavar="S",
+                           help="also flush the snapshot every S seconds "
+                                "(0: only at shutdown)")
     serve_cmd.add_argument("--cache-capacity", type=int, default=64,
                            metavar="N",
                            help="shared configuration-cache entries per "
@@ -127,6 +146,14 @@ def build_parser() -> argparse.ArgumentParser:
                            help="start an in-process service, replay a "
                                 "small Zipfian request mix, assert the "
                                 "shared cache amortized, and exit")
+    serve_cmd.add_argument("--chaos", action="store_true",
+                           help="with --self-test: inject deterministic "
+                                "worker crashes and hangs (multi-process "
+                                "backend) and assert every request still "
+                                "reaches a terminal status")
+    serve_cmd.add_argument("--seed", type=int, default=7,
+                           help="request-mix / fault-plan seed for "
+                                "--self-test (default 7)")
     serve_cmd.add_argument("--requests", type=int, default=48,
                            help="request count for --self-test (default 48)")
     serve_cmd.add_argument("--iterations", type=int, default=64,
@@ -285,13 +312,22 @@ def _render_profile(controller: MesaController, result,
 
 
 def _cmd_serve(args) -> int:
-    """``repro serve``: the offload service (or its CI self-test)."""
-    from .service import run_self_test
-
+    """``repro serve``: the offload service (or its CI self-tests)."""
     if args.self_test:
-        ok, report = run_self_test(requests=args.requests,
-                                   iterations=args.iterations,
-                                   workers=args.workers)
+        if args.chaos:
+            from .service import run_chaos_test
+
+            ok, report = run_chaos_test(requests=args.requests,
+                                        iterations=args.iterations,
+                                        workers=args.workers,
+                                        seed=args.seed)
+        else:
+            from .service import run_self_test
+
+            ok, report = run_self_test(requests=args.requests,
+                                       iterations=args.iterations,
+                                       workers=args.workers,
+                                       seed=args.seed)
         print(report)
         return 0 if ok else 1
     return _serve_forever(args)
@@ -299,6 +335,7 @@ def _cmd_serve(args) -> int:
 
 def _serve_forever(args) -> int:
     import asyncio
+    import signal
 
     from .harness import format_service_stats
     from .service import ControllerPool, MesaService, serve
@@ -308,25 +345,52 @@ def _serve_forever(args) -> int:
                               cache_policy=args.cache_policy)
         service = MesaService(pool=pool, max_queue=args.queue,
                               max_per_client=args.per_client,
-                              workers=args.workers)
+                              workers=args.workers,
+                              execution=args.execution,
+                              request_timeout_s=args.request_timeout,
+                              checkpoint_path=args.checkpoint,
+                              checkpoint_interval_s=args.checkpoint_interval)
         await service.start()
         server = await serve(service, args.host, args.port)
         address = server.sockets[0].getsockname()
         print(f"repro serve: listening on {address[0]}:{address[1]} "
               f"(queue={args.queue}, per-client={args.per_client}, "
-              f"workers={args.workers}, cache={args.cache_capacity} "
-              f"{args.cache_policy})")
+              f"workers={args.workers} [{args.execution}], "
+              f"cache={args.cache_capacity} {args.cache_policy}"
+              + (f", checkpoint={args.checkpoint}" if args.checkpoint
+                 else "") + ")")
+
+        # Graceful shutdown: SIGTERM/SIGINT stop admission, drain the
+        # queue, flush the final checkpoint, then report final stats.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        registered = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+                registered.append(signum)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without loop signal support
         previous = service.stats()
         try:
-            while True:
+            while not stop.is_set():
                 interval = args.metrics_interval or 3600.0
-                await asyncio.sleep(interval)
-                if args.metrics_interval:
+                try:
+                    await asyncio.wait_for(stop.wait(), timeout=interval)
+                except asyncio.TimeoutError:
+                    pass
+                if args.metrics_interval and not stop.is_set():
                     current = service.stats()
                     print(f"-- interval ({args.metrics_interval:.0f}s) --")
                     print(format_service_stats(current - previous))
                     previous = current
+            print("repro serve: shutdown requested; draining queue")
         finally:
+            for signum in registered:
+                loop.remove_signal_handler(signum)
+            # Stop accepting connections first so no new work arrives
+            # while in-flight jobs finish; close() rejects new submits,
+            # drains admitted jobs, and flushes the final checkpoint.
             server.close()
             await server.wait_closed()
             await service.close()

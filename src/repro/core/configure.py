@@ -383,3 +383,32 @@ class ConfigCache:
                cost: ConfigurationCost) -> list[int]:
         """Cache a configuration; returns its bitstream."""
         return self.put(start, end, config_name, program, cost).bitstream
+
+    def export_regions(self) -> list[dict]:
+        """Portable snapshot of every resident configuration.
+
+        Each record is plain JSON-serializable data — addresses, content
+        digest, the four :class:`ConfigurationCost` components, and the
+        encoded bitstream words.  The bitstream codec is exact
+        (``decode_bitstream(encode_bitstream(p))`` reconstructs the
+        program), so a record round-trips through disk and back into a
+        cache entry via :meth:`MesaController.restore_cache_regions
+        <repro.core.controller.MesaController.restore_cache_regions>`.
+        Export order is the cache's current victim order (oldest first),
+        so a restore into a smaller cache keeps the hottest entries.
+        """
+        with self._lock:
+            records = []
+            for key, entry in self._entries.items():
+                records.append({
+                    "config": key[2],
+                    "start": key[0],
+                    "end": key[1],
+                    "digest": entry.digest,
+                    "cost": [entry.cost.ldfg_build_cycles,
+                             entry.cost.mapping_cycles,
+                             entry.cost.write_cycles,
+                             entry.cost.stall_fill_cycles],
+                    "bitstream": list(entry.bitstream),
+                })
+            return records

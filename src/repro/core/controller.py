@@ -156,12 +156,35 @@ class CycleBreakdown:
                 + self.return_cycles + self.exposed_config_cycles)
 
 
+class _ProgramResources:
+    """Duck-typed stand-in for an :class:`Sdfg` in loop planning.
+
+    A checkpoint-restored cache entry carries only the decoded
+    :class:`AcceleratorProgram` (the mapping itself was not serialized),
+    but :func:`plan_loop_optimizations` needs nothing beyond resource
+    occupancy — PE/LSU counts and the backend geometry — all of which the
+    decoded program's node coordinates still encode (LSU entries sit at
+    column -1, exactly as in ``Sdfg.positions``).
+    """
+
+    __slots__ = ("pe_count", "lsu_count", "config")
+
+    def __init__(self, program: AcceleratorProgram) -> None:
+        self.pe_count = sum(1 for node in program.nodes
+                            if node.coord[1] >= 0)
+        self.lsu_count = sum(1 for node in program.nodes
+                             if node.coord[1] < 0)
+        self.config = program.config
+
+
 @dataclass
 class AcceleratedRegion:
     """One configured code region and its execution record."""
 
     decision: RegionDecision
-    sdfg: Sdfg
+    #: ``None`` for a region rebuilt from a checkpoint-restored cache
+    #: entry (only the decoded accelerator program survives a restart).
+    sdfg: Sdfg | None
     accel_program: AcceleratorProgram
     bitstream_words: int
     cost: ConfigurationCost
@@ -410,7 +433,7 @@ class MesaController:
                     loop.start_address, loop.end_address, self.config.name,
                     digest)
                 tally["hits" if cached is not None else "misses"] += 1
-            if cached is not None and cached.sdfg is not None:
+            if cached is not None:
                 # Warm path: skip T1–T3, pay only the bitstream load.
                 regions.append(self._region_from_cache(
                     decision, cached, parallelizable, trace, cpi))
@@ -503,7 +526,9 @@ class MesaController:
         trip count, not on the cached mapping.
         """
         warm_cost = cached.cost.warm()
-        plan = self._plan(cached.sdfg, decision, parallelizable)
+        resources = (cached.sdfg if cached.sdfg is not None
+                     else _ProgramResources(cached.program))
+        plan = self._plan(resources, decision, parallelizable)
         warmup = self._warmup_iterations(decision, trace, cpi, warm_cost)
         return AcceleratedRegion(
             decision=decision,
@@ -679,6 +704,45 @@ class MesaController:
             if steps > max_steps:
                 raise RuntimeError("loop entry never reached")
         return state
+
+    # -- configuration-cache persistence ---------------------------------------
+
+    def export_cache_regions(self) -> list[dict]:
+        """JSON-serializable records of every cached configuration."""
+        return self.config_cache.export_regions()
+
+    def restore_cache_regions(self, records: list[dict]) -> int:
+        """Re-seed the configuration cache from exported records.
+
+        Records for other backends, or that fail to decode (corrupt
+        bitstream, missing fields), are skipped silently — a partial
+        restore is strictly better than none.  Returns the number of
+        regions restored.  Restored entries carry no :class:`Sdfg`; a hit
+        on one takes the program-resources warm path
+        (:class:`_ProgramResources`), which reproduces the same loop plan
+        because planning only consumes PE/LSU occupancy and geometry.
+        """
+        from ..accel import BitstreamError, decode_bitstream
+
+        restored = 0
+        for record in records:
+            if record.get("config") != self.config.name:
+                continue
+            try:
+                program = decode_bitstream(
+                    [int(word) for word in record["bitstream"]], self.config)
+                cost = ConfigurationCost(
+                    *(int(cycles) for cycles in record["cost"]))
+                start = int(record["start"])
+                end = int(record["end"])
+                digest = record.get("digest")
+            except (BitstreamError, KeyError, TypeError, ValueError,
+                    IndexError):
+                continue
+            self.config_cache.put(start, end, self.config.name, program,
+                                  cost, digest=digest)
+            restored += 1
+        return restored
 
     def _cpu_only_result(self, reason: str, trace: Trace,
                          cpu_only: CoreResult,

@@ -57,11 +57,17 @@ def format_service_stats(stats: "ServiceStats") -> str:
     lines = [
         f"requests:   submitted={stats.submitted} admitted={stats.admitted} "
         f"completed={stats.completed} failed={stats.failed} "
-        f"cancelled={stats.cancelled}",
+        f"cancelled={stats.cancelled} timed_out={stats.timed_out} "
+        f"degraded={stats.degraded}",
         f"admission:  rejected_queue_full={stats.rejected_queue_full} "
         f"rejected_client_quota={stats.rejected_client_quota}",
         f"amortized:  accelerated={stats.accelerated} "
-        f"cache_hits={stats.cache_hits} coalesced={stats.coalesced}",
+        f"cache_hits={stats.cache_hits} coalesced={stats.coalesced} "
+        f"deduped={stats.deduped}",
+        f"robustness: worker_crashes={stats.worker_crashes} "
+        f"worker_restarts={stats.worker_restarts}",
+        f"persistence: checkpoints_saved={stats.checkpoints_saved} "
+        f"regions_restored={stats.regions_restored}",
         f"cache:      {format_cache_stats(stats.cache)}",
         f"queue:      depth={stats.queue_depth} inflight={stats.inflight}",
         f"throughput: {stats.throughput:.1f} req/s over "

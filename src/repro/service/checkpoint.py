@@ -1,0 +1,149 @@
+"""Config-cache persistence: versioned on-disk snapshots of configured regions.
+
+The shared configuration cache is the service's asset — the ROADMAP's
+"millions of users" story fails if a routine restart throws away every
+configuration and the fleet pays the full translate → map → configure
+pipeline all over again.  This module serializes what the cache actually
+needs to survive a restart: tag-indexed keys (addresses + content digest)
+and encoded bitstreams.  The bitstream codec is exact, so a restored
+record decodes back into the same :class:`AcceleratorProgram` and a warm
+hit on it is cycle-identical to a warm hit before the restart.
+
+Design rules:
+
+* **Atomic writes.**  Snapshots are written to a sibling temp file and
+  :func:`os.replace`'d into place, so a crash mid-save leaves the previous
+  snapshot intact, never a torn file.
+* **Tolerant reads.**  :func:`load_snapshot` *never raises*: a missing,
+  corrupt, wrong-magic, or future-version file yields ``(None, reason)``
+  and the server boots cold.  A stale snapshot must never be able to take
+  the service down.
+* **Versioned.**  ``version`` gates the schema; readers skip snapshots
+  newer than they understand instead of misparsing them.
+
+:class:`RegionStore` is the in-memory accumulator the multi-process
+server uses: workers report freshly configured regions (exported records)
+after each request, the store deduplicates them by key, and both the
+periodic checkpoint and replacement-worker seeding read from it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from threading import Lock
+
+__all__ = ["SNAPSHOT_MAGIC", "SNAPSHOT_VERSION", "RegionStore",
+           "save_snapshot", "load_snapshot"]
+
+log = logging.getLogger("repro.service")
+
+SNAPSHOT_MAGIC = "mesa-config-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: Fields every region record must carry to be restorable.
+_RECORD_FIELDS = ("config", "start", "end", "cost", "bitstream")
+
+
+def _record_key(record: dict) -> tuple:
+    return (record.get("config"), record.get("start"), record.get("end"),
+            record.get("digest"))
+
+
+class RegionStore:
+    """Thread-safe, deduplicating accumulator of exported region records.
+
+    Keyed the same way as a tag-indexed :class:`ConfigCache` — (config,
+    start, end, digest) — so re-reports of an already-known region are
+    free.  Insertion order is preserved, which keeps the snapshot's
+    restore order stable.
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[tuple, dict] = {}
+        self._lock = Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def add_many(self, records: list[dict]) -> int:
+        """Merge records; returns how many were new."""
+        new = 0
+        with self._lock:
+            for record in records:
+                key = _record_key(record)
+                if key not in self._records:
+                    new += 1
+                self._records[key] = record
+        return new
+
+    def records(self) -> list[dict]:
+        with self._lock:
+            return list(self._records.values())
+
+
+def save_snapshot(path: str, records: list[dict],
+                  extra: dict | None = None) -> int:
+    """Atomically write a versioned snapshot; returns the record count."""
+    payload = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "saved_at": time.time(),
+        "records": records,
+    }
+    if extra:
+        payload["extra"] = extra
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    os.replace(tmp, path)
+    return len(records)
+
+
+def load_snapshot(path: str) -> tuple[list[dict] | None, str]:
+    """Read a snapshot tolerantly: ``(records, "")`` or ``(None, reason)``.
+
+    Never raises — every failure mode (missing file, unreadable,
+    malformed JSON, wrong magic, future version, bad shape) becomes a
+    logged reason so the caller can boot cold.  Records that are not
+    dicts or miss required fields are dropped individually; per-record
+    bitstream corruption is caught later by ``decode_bitstream`` during
+    restore.
+    """
+    if not os.path.exists(path):
+        return None, f"no snapshot at {path}"
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        reason = f"unreadable snapshot {path}: {type(exc).__name__}: {exc}"
+        log.warning("%s", reason)
+        return None, reason
+    if not isinstance(payload, dict) or payload.get("magic") != SNAPSHOT_MAGIC:
+        reason = f"not a config snapshot: {path}"
+        log.warning("%s", reason)
+        return None, reason
+    version = payload.get("version")
+    if not isinstance(version, int) or version > SNAPSHOT_VERSION:
+        reason = (f"snapshot {path} has version {version!r}; this build "
+                  f"reads up to {SNAPSHOT_VERSION}")
+        log.warning("%s", reason)
+        return None, reason
+    raw = payload.get("records")
+    if not isinstance(raw, list):
+        reason = f"snapshot {path} carries no record list"
+        log.warning("%s", reason)
+        return None, reason
+    records = [record for record in raw
+               if isinstance(record, dict)
+               and all(field in record for field in _RECORD_FIELDS)]
+    dropped = len(raw) - len(records)
+    if dropped:
+        log.warning("snapshot %s: dropped %d malformed record(s)",
+                    path, dropped)
+    return records, ""

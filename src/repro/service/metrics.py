@@ -140,13 +140,32 @@ class ServiceStats:
     completed: int = 0
     failed: int = 0
     cancelled: int = 0
+    #: Requests that hit their deadline (while queued or mid-execution)
+    #: and resolved ``status="timeout"``.
+    timed_out: int = 0
+    #: Requests the circuit breaker served a CPU-baseline fallback for.
+    degraded: int = 0
     #: Requests that deduplicated against an identical in-flight region
     #: (waited for its leader's translation instead of starting their own).
     coalesced: int = 0
+    #: Resubmissions replayed from an idempotency-key match instead of
+    #: being executed a second time.
+    deduped: int = 0
     #: Completed requests whose region actually offloaded to the fabric.
     accelerated: int = 0
     #: Completed requests whose configuration came from the shared cache.
     cache_hits: int = 0
+    # -- robustness counters (multi-process backend and persistence) ----------
+    #: Worker processes that died mid-request (each degraded exactly one
+    #: request; the supervisor replaced the worker in place).
+    worker_crashes: int = 0
+    #: Replacement workers booted by the supervisor (crashes + hung
+    #: workers killed at their deadline).
+    worker_restarts: int = 0
+    #: Config-cache snapshots flushed to disk (interval + shutdown).
+    checkpoints_saved: int = 0
+    #: Region records warm-restored from a snapshot at boot.
+    regions_restored: int = 0
     #: Shared-cache counters summed over every chip in the pool.
     cache: CacheStats = field(default_factory=CacheStats)
     uptime_seconds: float = 0.0
@@ -193,9 +212,18 @@ class ServiceStats:
             completed=self.completed - other.completed,
             failed=self.failed - other.failed,
             cancelled=self.cancelled - other.cancelled,
+            timed_out=self.timed_out - other.timed_out,
+            degraded=self.degraded - other.degraded,
             coalesced=self.coalesced - other.coalesced,
+            deduped=self.deduped - other.deduped,
             accelerated=self.accelerated - other.accelerated,
             cache_hits=self.cache_hits - other.cache_hits,
+            worker_crashes=self.worker_crashes - other.worker_crashes,
+            worker_restarts=self.worker_restarts - other.worker_restarts,
+            checkpoints_saved=(self.checkpoints_saved
+                               - other.checkpoints_saved),
+            regions_restored=(self.regions_restored
+                              - other.regions_restored),
             cache=self.cache - other.cache,
             uptime_seconds=self.uptime_seconds - other.uptime_seconds,
             queue_depth=self.queue_depth,

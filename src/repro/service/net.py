@@ -4,33 +4,50 @@ The protocol is JSON lines over TCP — one request object per line, one
 response object per line, stdlib-only on both ends::
 
     {"op": "offload", "kernel": "nn", "iterations": 96, "config": "M-128",
-     "client": "c1"}
+     "client": "c1", "idem": "abc123", "timeout_s": 30}
     {"op": "stats"}
     {"op": "ping"}
 
 ``offload`` responses carry the :class:`~repro.service.server
 .OffloadResponse` fields; ``stats`` returns the monotonic counters plus
-p50/p99 of the main latency histograms.  Malformed input produces
+p50/p99 of the main latency histograms.  The connection handler is built
+to *stay healthy under garbage*: malformed JSON or an unknown op produces
 ``{"status": "error", "reason": ...}`` instead of dropping the
-connection, and one connection may pipeline any number of requests.
+connection, an oversized frame (no newline within :data:`MAX_LINE_BYTES`)
+is answered with a structured error and discarded up to the next newline
+so the per-connection buffer stays bounded, and one connection may
+pipeline any number of requests.
 
 :func:`run_self_test` is the CI smoke: start a service in-process, replay
 a small Zipfian mix, assert the shared cache actually amortized (hit rate
-> 0, every request completed), and shut down cleanly.
+> 0, every request completed), and shut down cleanly.  The ``--chaos``
+variant lives in :func:`repro.service.faults.run_chaos_test`.
 """
 
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 from typing import Any
 
 from .metrics import ServiceStats
 from .server import MesaService, OffloadRequest, OffloadResponse
-from .workload import zipfian_stream
 
-__all__ = ["response_to_json", "stats_to_json", "serve", "request_once",
-           "run_self_test", "SELF_TEST_KERNELS"]
+__all__ = ["MAX_LINE_BYTES", "response_to_json", "stats_to_json", "serve",
+           "request_once", "run_self_test", "SELF_TEST_KERNELS"]
+
+#: Largest accepted request frame.  A real request is a few hundred bytes;
+#: anything without a newline in 64 KiB is garbage or abuse, and bounding
+#: the buffer keeps one bad client from growing server memory without end.
+MAX_LINE_BYTES = 1 << 16
+
+#: Read chunk size for the manual framing loop.
+_CHUNK = 8192
+
+#: Sentinel the framer yields exactly once per discarded oversized frame
+#: (distinct from a legitimately empty line).
+_OVERSIZED = object()
 
 
 def response_to_json(response: OffloadResponse) -> dict[str, Any]:
@@ -42,6 +59,7 @@ def response_to_json(response: OffloadResponse) -> dict[str, Any]:
         "accelerated": response.accelerated,
         "cache_hit": response.cache_hit,
         "coalesced": response.coalesced,
+        "deduped": response.deduped,
         "speedup": response.speedup,
         "total_cycles": response.total_cycles,
         "queue_seconds": response.queue_seconds,
@@ -59,9 +77,16 @@ def stats_to_json(stats: ServiceStats) -> dict[str, Any]:
         "completed": stats.completed,
         "failed": stats.failed,
         "cancelled": stats.cancelled,
+        "timed_out": stats.timed_out,
+        "degraded": stats.degraded,
         "coalesced": stats.coalesced,
+        "deduped": stats.deduped,
         "accelerated": stats.accelerated,
         "cache_hits": stats.cache_hits,
+        "worker_crashes": stats.worker_crashes,
+        "worker_restarts": stats.worker_restarts,
+        "checkpoints_saved": stats.checkpoints_saved,
+        "regions_restored": stats.regions_restored,
         "queue_depth": stats.queue_depth,
         "inflight": stats.inflight,
         "uptime_seconds": stats.uptime_seconds,
@@ -91,31 +116,108 @@ def _offload_request(payload: dict[str, Any]) -> OffloadRequest:
     name = payload.get("kernel")
     if name not in kernel_names():
         raise ValueError(f"unknown kernel {name!r}")
+    timeout_s = payload.get("timeout_s")
+    if timeout_s is not None:
+        timeout_s = float(timeout_s)
+        if timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
     return OffloadRequest.for_kernel(
         name,
         iterations=int(payload.get("iterations", 64)),
         config=str(payload.get("config", "M-128")),
-        client=str(payload.get("client", "remote")))
+        client=str(payload.get("client", "remote")),
+        timeout_s=timeout_s,
+        idempotency_key=str(payload.get("idem", "")))
+
+
+class _LineFramer:
+    """Manual newline framing with a hard per-connection buffer cap.
+
+    The stdlib ``readline``/``readuntil`` helpers raise once their limit
+    is hit and leave the buffer in an awkward state; this framer instead
+    owns the buffer, reports an oversized frame as a one-shot signal, and
+    then *discards* bytes until the next newline so the connection can
+    resume with the following request.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 limit: int = MAX_LINE_BYTES) -> None:
+        self._reader = reader
+        self._limit = limit
+        self._buffer = bytearray()
+        self._discarding = False
+
+    async def next_frame(self):
+        """The next newline-terminated frame as ``bytes``.
+
+        Returns :data:`_OVERSIZED` exactly once per oversized frame
+        (after discarding it through the next newline), and ``None`` at
+        EOF.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                oversized = self._discarding or newline > self._limit
+                frame = bytes(self._buffer[:newline])
+                del self._buffer[:newline + 1]
+                if oversized:
+                    # Tail of the oversized frame: drop it, report once.
+                    self._discarding = False
+                    return _OVERSIZED
+                return frame
+            if self._discarding:
+                # Still inside the oversized frame: drop what we have.
+                del self._buffer[:]
+            elif len(self._buffer) > self._limit:
+                del self._buffer[:]
+                self._discarding = True
+            chunk = await self._reader.read(_CHUNK)
+            if not chunk:
+                return None if not self._discarding else _OVERSIZED
+            self._buffer.extend(chunk)
 
 
 async def _handle_connection(service: MesaService,
                              reader: asyncio.StreamReader,
-                             writer: asyncio.StreamWriter) -> None:
+                             writer: asyncio.StreamWriter,
+                             fault_plan=None,
+                             request_counter=None) -> None:
+    framer = _LineFramer(reader)
     try:
         while True:
-            line = await reader.readline()
-            if not line:
+            frame = await framer.next_frame()
+            if frame is None:
                 break
+            if frame is _OVERSIZED:
+                reply: dict[str, Any] = {
+                    "status": "error",
+                    "reason": f"frame exceeds {MAX_LINE_BYTES} bytes"}
+                writer.write(json.dumps(reply).encode() + b"\n")
+                await writer.drain()
+                continue
+            if not frame.strip():
+                continue
             try:
-                payload = json.loads(line)
+                payload = json.loads(frame)
+                if not isinstance(payload, dict):
+                    raise ValueError("request must be a JSON object")
                 op = payload.get("op", "offload")
                 if op == "ping":
-                    reply: dict[str, Any] = {"status": "ok"}
+                    reply = {"status": "ok"}
                 elif op == "stats":
                     reply = stats_to_json(service.stats())
                 elif op == "offload":
                     response = await service.offload(
                         _offload_request(payload))
+                    if fault_plan is not None and request_counter is not None:
+                        index = next(request_counter)
+                        if fault_plan.drops_connection(index):
+                            # Injected reply loss: the server *did*
+                            # execute, but the client never hears back —
+                            # its retry must attach via the idempotency
+                            # key instead of executing again.
+                            writer.transport.abort()
+                            return
                     reply = response_to_json(response)
                 else:
                     raise ValueError(f"unknown op {op!r}")
@@ -123,6 +225,8 @@ async def _handle_connection(service: MesaService,
                 reply = {"status": "error", "reason": str(exc)}
             writer.write(json.dumps(reply).encode() + b"\n")
             await writer.drain()
+    except (ConnectionError, OSError):
+        pass  # client went away mid-request; nothing to tell it
     finally:
         writer.close()
         try:
@@ -132,10 +236,19 @@ async def _handle_connection(service: MesaService,
 
 
 async def serve(service: MesaService, host: str = "127.0.0.1",
-                port: int = 8537) -> asyncio.AbstractServer:
-    """Start the TCP front end; the caller owns both lifecycles."""
+                port: int = 8537,
+                fault_plan=None) -> asyncio.AbstractServer:
+    """Start the TCP front end; the caller owns both lifecycles.
+
+    ``fault_plan`` (a :class:`~repro.service.faults.FaultPlan`) injects
+    deterministic connection drops, indexed by a counter shared across
+    every connection this server accepts.
+    """
+    request_counter = itertools.count() if fault_plan is not None else None
     return await asyncio.start_server(
-        lambda r, w: _handle_connection(service, r, w), host, port)
+        lambda r, w: _handle_connection(service, r, w, fault_plan,
+                                        request_counter),
+        host, port)
 
 
 async def request_once(host: str, port: int,
@@ -146,10 +259,15 @@ async def request_once(host: str, port: int,
         writer.write(json.dumps(payload).encode() + b"\n")
         await writer.drain()
         line = await reader.readline()
+        if not line:
+            raise ConnectionResetError("server closed before replying")
         return json.loads(line)
     finally:
         writer.close()
-        await writer.wait_closed()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
 
 #: Popular accelerating kernels used by the self-test's Zipfian mix (rank
@@ -161,6 +279,7 @@ SELF_TEST_KERNELS = ("nn", "pathfinder", "hotspot", "kmeans", "lud",
 async def _self_test(requests: int, iterations: int, workers: int,
                      seed: int) -> tuple[bool, str]:
     from ..harness.report import format_service_stats
+    from .workload import zipfian_stream
 
     service = MesaService(max_queue=max(requests, 1),
                           max_per_client=max(requests, 1),

@@ -1,0 +1,186 @@
+"""Tests for config-cache persistence: snapshot round trips, tolerant
+restore of damaged snapshots, and warm-hit equivalence after a restart."""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.accel import mesa_config
+from repro.core import MesaController
+from repro.service import (
+    SNAPSHOT_VERSION,
+    MesaService,
+    OffloadRequest,
+    RegionStore,
+    corrupt_snapshot,
+    load_snapshot,
+    save_snapshot,
+)
+from repro.workloads import build_kernel
+
+
+def configured_controller(iterations=64):
+    """A controller that has accelerated ``nn`` once (cache populated)."""
+    kernel = build_kernel("nn", iterations=iterations)
+    controller = MesaController(mesa_config("M-128"))
+    result = controller.execute(kernel.program, kernel.state_factory,
+                                parallelizable=kernel.parallelizable)
+    assert result.accelerated and not result.config_cache_hit
+    return controller, kernel
+
+
+class TestRegionStore:
+    def test_deduplicates_by_key(self):
+        record = {"config": "M-128", "start": 0, "end": 4, "digest": "d",
+                  "cost": [1, 2, 3, 0], "bitstream": [1, 2]}
+        store = RegionStore()
+        assert store.add_many([record]) == 1
+        assert store.add_many([record, dict(record)]) == 0
+        assert len(store) == 1
+        other = dict(record, digest="e")
+        assert store.add_many([other]) == 1
+        assert len(store) == 2
+
+
+class TestSnapshotFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        records = [{"config": "M-128", "start": 0, "end": 4, "digest": "d",
+                    "cost": [1, 2, 3, 0], "bitstream": [7, 8, 9]}]
+        assert save_snapshot(path, records) == 1
+        loaded, reason = load_snapshot(path)
+        assert reason == ""
+        assert loaded == records
+
+    def test_missing_file(self, tmp_path):
+        loaded, reason = load_snapshot(str(tmp_path / "absent.json"))
+        assert loaded is None and "no snapshot" in reason
+
+    @pytest.mark.parametrize("mode", ["garbage", "truncate", "magic",
+                                      "version"])
+    def test_damaged_snapshots_never_raise(self, tmp_path, mode):
+        path = str(tmp_path / "snap.json")
+        save_snapshot(path, [{"config": "M-128", "start": 0, "end": 4,
+                              "cost": [1, 2, 3, 0], "bitstream": [7]}])
+        corrupt_snapshot(path, mode)
+        loaded, reason = load_snapshot(path)
+        assert loaded is None
+        assert reason  # every failure mode is explained
+
+    def test_junk_records_dropped_individually(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        good = {"config": "M-128", "start": 0, "end": 4,
+                "cost": [1, 2, 3, 0], "bitstream": [7]}
+        save_snapshot(path, [good])
+        corrupt_snapshot(path, "records")
+        loaded, reason = load_snapshot(path)
+        assert loaded == [] and reason == ""
+
+    def test_older_version_still_reads(self, tmp_path):
+        path = str(tmp_path / "snap.json")
+        save_snapshot(path, [])
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == SNAPSHOT_VERSION
+        # A version-0 snapshot (hypothetical past schema) is not refused
+        # outright — only *future* versions are.
+        payload["version"] = 0
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        loaded, reason = load_snapshot(path)
+        assert loaded == [] and reason == ""
+
+
+class TestControllerRoundTrip:
+    def test_restored_warm_hit_is_cycle_identical(self):
+        controller, kernel = configured_controller()
+        live_warm = controller.execute(kernel.program, kernel.state_factory,
+                                       parallelizable=kernel.parallelizable)
+        assert live_warm.config_cache_hit
+        records = controller.export_cache_regions()
+        assert records
+
+        fresh = MesaController(mesa_config("M-128"))
+        assert fresh.restore_cache_regions(records) == len(records)
+        restored = fresh.execute(kernel.program, kernel.state_factory,
+                                 parallelizable=kernel.parallelizable)
+        assert restored.config_cache_hit
+        assert restored.total_cycles == live_warm.total_cycles
+        stats = fresh.config_cache.stats()
+        assert stats.hits == 1 and stats.misses == 0
+
+    def test_restore_skips_foreign_config_and_junk(self):
+        controller, _ = configured_controller()
+        records = controller.export_cache_regions()
+        other = MesaController(mesa_config("M-64"))
+        assert other.restore_cache_regions(records) == 0  # config mismatch
+        fresh = MesaController(mesa_config("M-128"))
+        mangled = [dict(records[0], bitstream=[999999999, -3])]
+        assert fresh.restore_cache_regions(mangled) == 0  # decode fails
+
+
+class TestServiceCheckpointRoundTrip:
+    def test_restart_preserves_warm_hits(self, tmp_path):
+        snap = str(tmp_path / "cache.snapshot.json")
+
+        async def scenario():
+            first = MesaService(workers=1, checkpoint_path=snap)
+            await first.start()
+            cold = await first.offload(
+                OffloadRequest.for_kernel("nn", iterations=64))
+            live_warm = await first.offload(
+                OffloadRequest.for_kernel("nn", iterations=64))
+            await first.close()
+            assert cold.ok and cold.accelerated and not cold.cache_hit
+            assert live_warm.ok and live_warm.cache_hit
+            assert first.stats().checkpoints_saved >= 1
+
+            second = MesaService(workers=1, checkpoint_path=snap)
+            await second.start()
+            warm = await second.offload(
+                OffloadRequest.for_kernel("nn", iterations=64))
+            stats = second.stats()
+            await second.close()
+            assert warm.ok and warm.cache_hit
+            # A restored warm hit is cycle-identical to a live warm hit.
+            assert warm.total_cycles == live_warm.total_cycles
+            assert stats.regions_restored >= 1
+            # The restored entry serves the request as a pure warm hit —
+            # no miss, no re-translation, just like before the restart.
+            assert stats.cache.hits == 1 and stats.cache.misses == 0
+
+        asyncio.run(scenario())
+
+    def test_corrupt_snapshot_boots_cold(self, tmp_path):
+        snap = str(tmp_path / "cache.snapshot.json")
+        save_snapshot(snap, [])
+        corrupt_snapshot(snap, "garbage")
+
+        async def scenario():
+            service = MesaService(workers=1, checkpoint_path=snap)
+            await service.start()  # must not raise
+            stats = service.stats()
+            await service.close()
+            assert stats.regions_restored == 0
+
+        asyncio.run(scenario())
+        # The shutdown flush replaced the corrupt file with a valid one.
+        loaded, reason = load_snapshot(snap)
+        assert loaded == [] and reason == ""
+
+    def test_interval_checkpoints_flush(self, tmp_path):
+        snap = str(tmp_path / "cache.snapshot.json")
+
+        async def scenario():
+            service = MesaService(workers=1, checkpoint_path=snap,
+                                  checkpoint_interval_s=0.05)
+            await service.start()
+            await asyncio.sleep(0.2)
+            saved = service.stats().checkpoints_saved
+            await service.close()
+            assert saved >= 1
+            assert os.path.exists(snap)
+
+        asyncio.run(scenario())

@@ -2,6 +2,7 @@
 cancellation, shared-cache amortization, and the TCP front end."""
 
 import asyncio
+import dataclasses
 import threading
 
 import pytest
@@ -390,3 +391,179 @@ class TestRequestHelpers:
         assert a.coalesce_key() == b.coalesce_key()
         assert a.coalesce_key() != c.coalesce_key()
         assert a.coalesce_key() != d.coalesce_key()
+
+
+# -- deadlines, dedupe, graceful drain ----------------------------------------
+
+
+class TestDeadlines:
+    def test_queue_expired_request_never_occupies_the_chip(self):
+        async def scenario():
+            chip = FakeController()
+            service = fake_service(chip, workers=1)
+            await service.start()
+            blocker = asyncio.ensure_future(
+                service.offload(kernel_request(client="a")))
+            await spin(lambda: chip.calls == 1)
+            doomed = asyncio.ensure_future(service.offload(
+                kernel_request("kmeans", client="b"), timeout_s=0.02))
+            await asyncio.sleep(0.1)  # deadline passes while queued
+            chip.release.set()
+            timed_out = await doomed
+            assert (await blocker).ok
+            # The pool is still healthy for the same client afterwards.
+            later = await service.offload(kernel_request(client="b"))
+            stats = service.stats()
+            await service.close()
+            return timed_out, later, stats, chip.calls
+
+        timed_out, later, stats, calls = asyncio.run(scenario())
+        assert timed_out.status == "timeout"
+        assert "while queued" in timed_out.reason
+        assert later.ok
+        assert stats.timed_out == 1 and stats.completed == 2
+        assert calls == 2, "the expired job must never reach the chip"
+        assert stats.queue_depth == 0 and stats.inflight == 0
+
+    def test_request_default_timeout_from_service(self):
+        async def scenario():
+            chip = FakeController()
+            service = fake_service(chip, workers=1, request_timeout_s=0.05)
+            await service.start()
+            response = await service.offload(kernel_request())
+            await spin(lambda: True)
+            chip.release.set()  # un-wedge the detached executor thread
+            stats = service.stats()
+            await service.close()
+            return response, stats
+
+        response, stats = asyncio.run(scenario())
+        assert response.status == "timeout"
+        assert stats.timed_out == 1
+
+
+class TestDedupe:
+    def test_identical_keys_execute_once(self):
+        async def scenario():
+            chip = FakeController()
+            chip.release.set()
+            service = fake_service(chip, workers=1)
+            await service.start()
+            request = kernel_request()
+            request = dataclasses.replace(request, idempotency_key="idem-1")
+            first = await service.offload(request)
+            second = await service.offload(request)
+            stats = service.stats()
+            await service.close()
+            return first, second, stats, chip.calls
+
+        first, second, stats, calls = asyncio.run(scenario())
+        assert first.ok and not first.deduped
+        assert second.ok and second.deduped
+        assert calls == 1
+        assert stats.deduped == 1 and stats.completed == 1
+
+    def test_inflight_retry_attaches_to_leader(self):
+        async def scenario():
+            chip = FakeController()
+            service = fake_service(chip, workers=2)
+            await service.start()
+            request = dataclasses.replace(kernel_request(),
+                                          idempotency_key="idem-2")
+            leader = service.submit(request)
+            await spin(lambda: chip.calls == 1)
+            follower = service.submit(request)  # still in flight
+            chip.release.set()
+            first, second = await asyncio.gather(leader, follower)
+            stats = service.stats()
+            await service.close()
+            return first, second, stats, chip.calls
+
+        first, second, stats, calls = asyncio.run(scenario())
+        assert first.ok and second.ok and second.deduped
+        assert calls == 1
+        assert stats.admitted == 1 and stats.deduped == 1
+
+    def test_failed_responses_are_not_replayed(self):
+        async def scenario():
+            chip = FakeController(fail=True)
+            chip.release.set()
+            service = fake_service(chip, workers=1)
+            await service.start()
+            request = dataclasses.replace(kernel_request(),
+                                          idempotency_key="idem-3")
+            first = await service.offload(request)
+            chip.fail = False
+            second = await service.offload(request)
+            stats = service.stats()
+            await service.close()
+            return first, second, stats, chip.calls
+
+        first, second, stats, calls = asyncio.run(scenario())
+        assert first.status == "failed"
+        assert second.ok and not second.deduped, \
+            "a failure must not satisfy the retry"
+        assert calls == 2
+
+    def test_distinct_clients_never_collide(self):
+        async def scenario():
+            chip = FakeController()
+            chip.release.set()
+            service = fake_service(chip, workers=1)
+            await service.start()
+            first = await service.offload(dataclasses.replace(
+                kernel_request(client="a"), idempotency_key="shared"))
+            second = await service.offload(dataclasses.replace(
+                kernel_request(client="b"), idempotency_key="shared"))
+            await service.close()
+            return first, second, chip.calls
+
+        first, second, calls = asyncio.run(scenario())
+        assert first.ok and second.ok and not second.deduped
+        assert calls == 2
+
+
+class TestGracefulDrain:
+    def test_close_finishes_inflight_and_rejects_new(self):
+        async def scenario():
+            chip = FakeController()
+            service = fake_service(chip, workers=1)
+            await service.start()
+            inflight = asyncio.ensure_future(
+                service.offload(kernel_request(client="a")))
+            await spin(lambda: chip.calls == 1)
+            closing = asyncio.ensure_future(service.close())
+            await asyncio.sleep(0.02)
+            # New work is refused while draining...
+            rejected = await service.offload(kernel_request(client="b"))
+            # ...but the in-flight request is finished, not dropped.
+            chip.release.set()
+            await closing
+            finished = await inflight
+            stats = service.stats()
+            return rejected, finished, stats
+
+        rejected, finished, stats = asyncio.run(scenario())
+        assert rejected.status == "rejected"
+        assert "shutting down" in rejected.reason
+        assert finished.ok
+        assert stats.completed == 1
+        assert stats.queue_depth == 0 and stats.inflight == 0
+
+    def test_process_stats_zero_for_thread_backend(self):
+        async def scenario():
+            chip = FakeController()
+            chip.release.set()
+            service = fake_service(chip, workers=1)
+            await service.start()
+            state = service.process_stats()
+            await service.close()
+            return state
+
+        state = asyncio.run(scenario())
+        assert state == {"workers": 0, "alive": 0, "restarts": 0,
+                         "pids": []}
+
+    def test_invalid_execution_backend_rejected(self):
+        with pytest.raises(ValueError):
+            MesaService(execution="fiber")
