@@ -21,11 +21,33 @@ few provable properties of the model:
   chain by the innocuous-double-rounding theorem (binary64's 53-bit
   significand exceeds 2·24+2 for add/sub; binary32 products are exact in
   binary64).
-* **NoC waits are provably zero** whenever a source row carries at most one
-  NoC-routed operand slot: under barrier execution the next packet on a row
-  ring never departs before the channel freed (``depart' >= end >= arrival
-  = grant + cycles >= free_at`` since edge latencies are >= 1).  Plans with
-  two or more NoC slots on one row fall back to the scalar loop.
+* **NoC ring queueing is closed-form.**  Channel state never carries
+  between iterations: the next iteration starts no earlier than the last
+  grant plus the edge latency (>= 1 cycle), which is exactly when the
+  channel frees — so per-iteration request chains are independent and
+  vectorize.  A row with one NoC slot provably never waits; a row with
+  several fires them in the scalar loop's request order (node id, src1
+  before src2), and the grant of slot ``j`` is ``max(depart_j,
+  grant_{j-1} + 1)``.  Because the issue-interval bump distributes over
+  the max-plus source decomposition, the whole chain is carried as
+  per-source weight matrices (phase T) and reproduces the event-order
+  departures bit-exactly.  Only a *fallback* slot on a contended row —
+  whose firing depends on runtime guard values — has no static order and
+  falls back to the scalar loop.
+* **Guarded nodes mix, guarded memory masks.**  A predicated-off lane
+  takes its fallback value (``np.where``) and the fallback transfer's
+  timing; an off *memory* lane additionally skips the port request, the
+  cache access, and the store commit — a mask-aware ``Memory.gather``
+  reads only live lanes, and the block alias check ignores dead ones, so
+  guard-false lanes charge neither port occupancy nor AMAT, exactly like
+  the scalar loop's suppressed accesses.
+* **Coupled recurrences run as an exact microloop.**  Loop-carried
+  strongly connected components with no closed scan form (mutually
+  recursive producers, guarded self-loops, non-linear updates) are
+  *clusters*: their members are evaluated lane by lane with the plan's own
+  scalar evaluator closures — bit-identical by construction — while every
+  node outside the cluster, and all timing, stays vectorized.  Clusters
+  through memory nodes still fall back (their lane values gate port state).
 * **The LSQ is inert** when no store in a block byte-overlaps a
   same-or-later-iteration load.  A vectorized alias check proves that per
   block from the concrete addresses; a violating block *bails* untouched and
@@ -46,6 +68,7 @@ just "it got slower".
 
 from __future__ import annotations
 
+import heapq
 import os
 from dataclasses import dataclass
 
@@ -56,6 +79,7 @@ except ImportError:  # pragma: no cover - the toolchain ships numpy
 
 from ..isa import Opcode
 from ..isa.registers import RegFile
+from ..mem.lsq import block_alias_hazard
 from .plan import (
     _LOAD_FORMATS,
     K_CONST,
@@ -275,7 +299,7 @@ class _BatchNode:
 
     __slots__ = ("plan_node", "i", "kind", "dtype", "np_dtype", "guard",
                  "tag", "fn", "scan", "scan_imm", "opcode", "mem_sign",
-                 "req1", "req2")
+                 "req1", "req2", "cluster")
 
     def __init__(self, plan_node, i):
         self.plan_node = plan_node
@@ -292,20 +316,50 @@ class _BatchNode:
         self.mem_sign = 0        # sign-extension bit for signed loads
         self.req1 = None         # operand dtype requirements ("i"/"x"/None)
         self.req2 = None
+        self.cluster = -1        # index into BatchProgram.clusters
+
+
+# Operand access codes for cluster microloop steps: how a member reads one
+# operand at lane k of a block.
+_C_CONST = 0      # run-constant (latched live-in or zero)
+_C_NODE_IN = 1    # same-iteration value of another cluster member
+_C_NODE_EX = 2    # same-iteration value of a vectorized producer
+_C_LOOP_IN = 3    # previous lane of a cluster member (the recurrence)
+_C_LOOP_EX = 4    # previous lane of a vectorized producer
+
+
+class _Cluster:
+    """One loop-carried strongly connected component, evaluated lane by
+    lane with the plan's scalar evaluator closures (exact by construction:
+    int64/float32 lanes round-trip through Python scalars losslessly, and
+    the closures apply the same int()/float() conversions as the scalar
+    drive loop)."""
+
+    __slots__ = ("members", "member_set", "steps")
+
+    def __init__(self, members, steps):
+        self.members = members            # ascending node ids
+        self.member_set = frozenset(members)
+        #: (node_id, is_ctrl, guard_id, a_spec, b_spec, fb_spec, evaluate)
+        #: per member; specs are (access code, src node id).
+        self.steps = steps
 
 
 class BatchProgram:
     """A plan compiled for batched execution (or its fallback verdict)."""
 
     __slots__ = ("plan", "capability", "nodes", "order", "mem_ids",
-                 "has_store", "slot_events", "n_sources")
+                 "has_store", "slot_events", "n_sources", "clusters",
+                 "noc_rows")
 
     def __init__(self, plan, capability, nodes=None, order=None,
-                 mem_ids=None, has_store=False, slot_events=None):
+                 mem_ids=None, has_store=False, slot_events=None,
+                 clusters=None, noc_rows=frozenset()):
         self.plan = plan
         self.capability = capability
         self.nodes = nodes or []
-        #: Topological schedule over same-iteration + loop-carried edges.
+        #: Topological schedule over same-iteration + loop-carried edges
+        #: (cluster members appear contiguously, ascending).
         self.order = order or []
         #: Memory node ids in program order (their completions are the
         #: dynamic timing sources alongside the iteration start).
@@ -315,6 +369,11 @@ class BatchProgram:
         #: counter folds.
         self.slot_events = slot_events or []
         self.n_sources = 1 + len(self.mem_ids)
+        #: Coupled-recurrence clusters, by first-member order.
+        self.clusters = clusters or []
+        #: Source rows whose ring channel carries more than one NoC slot
+        #: per iteration — their grants go through the closed-form chain.
+        self.noc_rows = noc_rows
 
 
 def _operand_dtype(op, dtypes):
@@ -359,9 +418,7 @@ def _compile(plan):
         if pnode.kind == N_MEMORY:
             mem = pnode.memory
             if mem.size > 4:
-                return f"unsupported opcode {instr.opcode.name}"
-            if pnode.guard_branch >= 0:
-                return "guarded memory access"
+                return "wide memory access"
             rec.tag = "mem"
             rec.req1 = "i"  # address base goes through int()
             if mem.is_load:
@@ -393,93 +450,142 @@ def _compile(plan):
 
     for rec in nodes:
         rec.np_dtype = np.float32 if rec.dtype == D_FP else np.int64
-        guard = rec.plan_node.guard_branch
-        # A guard at or after the node reads this iteration's still-False
-        # branch state — statically never predicated off.
-        if 0 <= guard < rec.i:
-            rec.guard = guard
+        # Guards at or after their node never fire (the scalar loop reads
+        # the iteration's still-False branch state) — the plan hoists that
+        # rule into ``effective_guard``.
+        rec.guard = rec.plan_node.effective_guard
 
-    # Pass 2: loop-carried self-edges must be recognizable reductions; all
-    # other operands are checked for exact dtype agreement with the scalar
-    # path's int()/float() conversions.
+    # Pass 2: build the combined dependence graph (same-iteration K_NODE
+    # edges, loop-carried K_LOOP edges — self edges included — and guard
+    # edges), then recognize which loop-carried cycles have a closed scan
+    # form and which become microloop clusters.
+    preds_of: list[set] = [set() for _ in range(n)]
     for rec in nodes:
         pnode = rec.plan_node
-        i = rec.i
-        operands = [(pnode.src1, 1), (pnode.src2, 2)]
+        ops = [pnode.src1, pnode.src2]
         if rec.guard >= 0:
-            operands.append((pnode.fallback, 0))
-        self_loop = (pnode.src1.kind == K_LOOP and pnode.src1.src_id == i)
-        for op, slot in operands:
-            if op.kind == K_LOOP and op.src_id == i and not (
-                    slot == 1 and self_loop):
-                return "unsupported loop-carried reduction"
-        if self_loop:
-            scan = _SCAN_OPS.get(rec.opcode) if rec.tag == "fn" else None
-            if scan is None or rec.guard >= 0 or pnode.guard_branch >= 0:
-                return "unsupported loop-carried reduction"
-            seed = pnode.src1.register
-            if seed is not None and (
-                    (seed.file is RegFile.FP) != (rec.dtype == D_FP)):
-                return "loop-carried seed dtype mismatch"
+            ops.append(pnode.fallback)
+        for op in ops:
+            if op.kind == K_NODE and op.src_id >= rec.i:
+                # The scalar loops only ever read completed same-iteration
+                # producers; a forward edge has no defined value.
+                return "forward same-iteration edge"
+            if op.kind in (K_NODE, K_LOOP):
+                preds_of[rec.i].add(op.src_id)
+        if rec.guard >= 0:
+            preds_of[rec.i].add(rec.guard)
+
+    # Scan candidacy: a pure src1 self-loop through a recognized reduction
+    # opcode evaluates in closed/scan form.  A failed candidate is *not* a
+    # rejection — it simply keeps its self edge and lands in a cluster.
+    for rec in nodes:
+        pnode = rec.plan_node
+        if not (pnode.src1.kind == K_LOOP and pnode.src1.src_id == rec.i
+                and rec.tag == "fn" and rec.opcode in _SCAN_OPS
+                and pnode.guard_branch < 0
+                and not (pnode.src2.kind == K_LOOP
+                         and pnode.src2.src_id == rec.i)):
+            continue
+        scan = _SCAN_OPS[rec.opcode]
+        seed = pnode.src1.register
+        ok = not (seed is not None
+                  and (seed.file is RegFile.FP) != (rec.dtype == D_FP))
+        if ok:
             if scan == "addi":
-                if abs(rec.scan_imm) >= 1 << 31:
-                    return "addi reduction immediate too wide"
+                ok = abs(rec.scan_imm) < 1 << 31
             else:
                 x_dtype = _operand_dtype(pnode.src2, dtypes)
-                if x_dtype != rec.dtype and not _wildcard_const(pnode.src2):
-                    return "operand dtype mismatch"
+                ok = x_dtype == rec.dtype or _wildcard_const(pnode.src2)
+        if ok:
             rec.scan = scan
-            continue
+            preds_of[rec.i].discard(rec.i)
 
+    # Tarjan SCCs over the remaining graph: every nontrivial component
+    # (and every self-edged singleton) is a coupled recurrence cluster.
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for i in range(n):
+        for p in preds_of[i]:
+            succs[p].append(i)
+    for lst in succs:
+        lst.sort()
+    comps = _tarjan_sccs(n, succs)
+
+    clusters: list[list[int]] = []
+    for comp in comps:
+        if len(comp) > 1 or comp[0] in preds_of[comp[0]]:
+            clusters.append(comp)
+    clusters.sort()
+    for ci, comp in enumerate(clusters):
+        for i in comp:
+            if nodes[i].kind == N_MEMORY:
+                # A lane's load value / store commit would gate the next
+                # lane's — the port walk cannot be replayed exactly.
+                return "loop-carried recurrence through memory"
+            nodes[i].cluster = ci
+            nodes[i].scan = ""  # a swallowed candidate runs in the loop
+
+    # Pass 2b: operands of *vectorized* nodes are checked for exact dtype
+    # agreement with the scalar path's int()/float() conversions.  Cluster
+    # members call the scalar evaluators directly and skip these — except
+    # the guard-fallback check, whose value lands in the typed lane array.
+    for rec in nodes:
+        pnode = rec.plan_node
+        # Predicated-off lanes mix the fallback into the result vector
+        # (stores excepted: a suppressed store's value is always 0).
+        if rec.guard >= 0 and not (rec.kind == N_MEMORY
+                                   and not pnode.memory.is_load):
+            if not _wildcard_const(pnode.fallback) and \
+                    _operand_dtype(pnode.fallback, dtypes) != rec.dtype:
+                return "guard fallback dtype mismatch"
+        if rec.cluster >= 0 or rec.scan:
+            continue
         # The scalar path converts operands with int()/float() — the lane
         # dtype must make those conversions the identity.
         for op, req in ((pnode.src1, rec.req1), (pnode.src2, rec.req2)):
             if req == "i" and _operand_dtype(op, dtypes) != D_INT:
                 return "operand dtype mismatch"
         # Loop-carried seeds must be exact in the producer's lane dtype.
-        for op, _ in operands:
-            if op.kind == K_LOOP:
+        for op in (pnode.src1, pnode.src2,
+                   pnode.fallback if rec.guard >= 0 else None):
+            if op is not None and op.kind == K_LOOP:
                 seed = op.register
                 if seed is not None and (
                         (seed.file is RegFile.FP)
                         != (dtypes[op.src_id] == D_FP)):
                     return "loop-carried seed dtype mismatch"
-        # Predicated-off lanes mix the fallback into the result vector.
-        if rec.guard >= 0 and not _wildcard_const(pnode.fallback):
-            if _operand_dtype(pnode.fallback, dtypes) != rec.dtype:
-                return "guard fallback dtype mismatch"
 
-    # Pass 3: the combined dependence graph (same-iteration K_NODE edges,
-    # non-self K_LOOP edges, guard edges) must be acyclic once recognized
-    # self-loop reductions are removed — coupled recurrences have no
-    # per-node scan form.
-    succs: list[list[int]] = [[] for _ in range(n)]
-    indeg = [0] * n
-    for rec in nodes:
-        pnode = rec.plan_node
-        preds = set()
-        for op in (pnode.src1, pnode.src2,
-                   pnode.fallback if rec.guard >= 0 else None):
-            if op is not None and op.kind in (K_NODE, K_LOOP):
-                if op.src_id != rec.i:
-                    preds.add(op.src_id)
-        if rec.guard >= 0:
-            preds.add(rec.guard)
-        for p in preds:
-            succs[p].append(rec.i)
-            indeg[rec.i] += 1
+    cluster_objs = [_make_cluster(comp, nodes) for comp in clusters]
+
+    # Pass 3: deterministic topological schedule over the condensation
+    # (always a DAG).  Singleton components pop in exactly the order the
+    # previous min()-of-ready scan produced; cluster members are emitted
+    # contiguously, ascending, at their component's turn.
+    comp_key = [0] * n
+    comp_members: dict[int, list[int]] = {}
+    for comp in comps:
+        key = comp[0]
+        comp_members[key] = comp
+        for i in comp:
+            comp_key[i] = key
+    cindeg = {key: 0 for key in comp_members}
+    csuccs: dict[int, set] = {key: set() for key in comp_members}
+    for i in range(n):
+        ck = comp_key[i]
+        for p in preds_of[i]:
+            pk = comp_key[p]
+            if pk != ck and ck not in csuccs[pk]:
+                csuccs[pk].add(ck)
+                cindeg[ck] += 1
+    heap = [key for key, deg in cindeg.items() if deg == 0]
+    heapq.heapify(heap)
     order: list[int] = []
-    ready = [i for i in range(n) if indeg[i] == 0]
-    while ready:
-        i = min(ready)  # deterministic schedule
-        ready.remove(i)
-        order.append(i)
-        for s in succs[i]:
-            indeg[s] -= 1
-            if indeg[s] == 0:
-                ready.append(s)
-    if len(order) != n:
-        return "coupled loop-carried recurrence"
+    while heap:
+        key = heapq.heappop(heap)
+        order.extend(comp_members[key])
+        for sk in csuccs[key]:
+            cindeg[sk] -= 1
+            if cindeg[sk] == 0:
+                heapq.heappush(heap, sk)
 
     # Pass 4: with stores present, no memory address may transitively
     # depend on a load — the per-block alias check reads all addresses
@@ -488,15 +594,6 @@ def _compile(plan):
     mem_ids = [rec.i for rec in nodes if rec.kind == N_MEMORY]
     has_store = any(nodes[i].plan_node.is_store for i in mem_ids)
     if has_store:
-        preds_of: list[set] = [set() for _ in range(n)]
-        for rec in nodes:
-            pnode = rec.plan_node
-            for op in (pnode.src1, pnode.src2,
-                       pnode.fallback if rec.guard >= 0 else None):
-                if op is not None and op.kind in (K_NODE, K_LOOP):
-                    preds_of[rec.i].add(op.src_id)
-            if rec.guard >= 0:
-                preds_of[rec.i].add(rec.guard)
         for i in mem_ids:
             cone: set[int] = set()
             src1 = nodes[i].plan_node.src1
@@ -510,14 +607,30 @@ def _compile(plan):
                     return "load-dependent store addressing"
                 stack.extend(preds_of[node_id])
 
-    # Pass 5: at most one NoC-routed operand slot per source row, so ring
-    # waits are provably zero and channel state needs no tracking.
-    noc_rows: dict[int, int] = {}
-    for edge in plan.edge_slots:
-        if not edge.is_local:
-            noc_rows[edge.src_row] = noc_rows.get(edge.src_row, 0) + 1
-            if noc_rows[edge.src_row] > 1:
-                return "NoC ring-channel contention"
+    # Pass 5: rows whose ring channel carries more than one firing NoC
+    # slot serialize through the closed-form grant chain, which replays
+    # the scalar loop's static request order (node id, src1 before src2).
+    # A *fallback* slot fires only on predicated-off iterations — its
+    # position in the chain is data-dependent, so such rows fall back.
+    # (Inert-guard fallback edges never fire and are ignored entirely.)
+    row_total: dict[int, int] = {}
+    row_fb: dict[int, int] = {}
+    for rec in nodes:
+        pnode = rec.plan_node
+        row_ops = [(pnode.src1, False), (pnode.src2, False)]
+        if rec.guard >= 0:
+            row_ops.append((pnode.fallback, True))
+        for op, is_fb in row_ops:
+            e = op.edge
+            if e is not None and not e.is_local:
+                row_total[e.src_row] = row_total.get(e.src_row, 0) + 1
+                if is_fb:
+                    row_fb[e.src_row] = row_fb.get(e.src_row, 0) + 1
+    noc_rows = frozenset(row for row, count in row_total.items()
+                         if count > 1)
+    for row in noc_rows:
+        if row_fb.get(row):
+            return "data-dependent NoC channel order"
 
     # Per-slot event cadences for the counter fold.
     slot_events = []
@@ -535,7 +648,80 @@ def _compile(plan):
                  rec.i))
 
     return BatchProgram(plan, BatchCapability(True), nodes, order, mem_ids,
-                        has_store, slot_events)
+                        has_store, slot_events, cluster_objs, noc_rows)
+
+
+def _tarjan_sccs(n, succs):
+    """Iterative Tarjan: strongly connected components, each sorted
+    ascending (deterministic: roots and successor lists ascend)."""
+    index_of = [-1] * n
+    low = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    comps: list[list[int]] = []
+    counter = 0
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        index_of[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+        work = [(root, iter(succs[root]))]
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if index_of[child] == -1:
+                    index_of[child] = low[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack[child] = True
+                    work.append((child, iter(succs[child])))
+                    advanced = True
+                    break
+                if on_stack[child] and index_of[child] < low[node]:
+                    low[node] = index_of[child]
+            if advanced:
+                continue
+            work.pop()
+            if work and low[node] < low[work[-1][0]]:
+                low[work[-1][0]] = low[node]
+            if low[node] == index_of[node]:
+                comp = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    comp.append(member)
+                    if member == node:
+                        break
+                comp.sort()
+                comps.append(comp)
+    return comps
+
+
+def _make_cluster(comp, nodes):
+    """Compile one SCC's members into microloop steps."""
+    member_set = frozenset(comp)
+
+    def spec(op):
+        if op.kind == K_NODE:
+            return ((_C_NODE_IN if op.src_id in member_set
+                     else _C_NODE_EX), op.src_id)
+        if op.kind == K_LOOP:
+            return ((_C_LOOP_IN if op.src_id in member_set
+                     else _C_LOOP_EX), op.src_id)
+        return (_C_CONST, -1)
+
+    steps = []
+    for i in comp:
+        rec = nodes[i]
+        pnode = rec.plan_node
+        fb_spec = spec(pnode.fallback) if rec.guard >= 0 else None
+        steps.append((i, rec.kind == N_CONTROL, rec.guard,
+                      spec(pnode.src1), spec(pnode.src2), fb_spec,
+                      pnode.evaluate))
+    return _Cluster(comp, steps)
 
 
 # -- block driver --------------------------------------------------------------
@@ -551,25 +737,6 @@ def resolve_block(options) -> int:
     if not block:
         block = DEFAULT_BLOCK
     return max(1, min(block, MAX_BLOCK))
-
-
-def _alias_hazard(load_streams, store_streams):
-    """True when any store byte-overlaps a load of the same iteration that
-    follows it in program order, or of any later iteration in the block."""
-    for s_addr, s_size, s_id in store_streams:
-        s_lo = int(s_addr.min())
-        s_hi = int(s_addr.max()) + s_size
-        for l_addr, l_size, l_id in load_streams:
-            if s_hi <= int(l_addr.min()) or int(l_addr.max()) + l_size <= s_lo:
-                continue
-            overlap = ((s_addr[None, :] < l_addr[:, None] + l_size)
-                       & (l_addr[:, None] < s_addr[None, :] + s_size))
-            # Rows index the load's iteration, columns the store's.
-            hazard = (np.tril(overlap) if s_id < l_id
-                      else np.tril(overlap, -1))
-            if hazard.any():
-                return True
-    return False
 
 
 def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
@@ -601,9 +768,10 @@ def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
     # Run-level accumulators, folded into the counters once at the end.
     node_total = [0.0] * n
     slot_count = [0] * len(plan.edge_slots)
+    slot_wait = [0.0] * len(plan.edge_slots)
     acc = {"int_ops": 0, "fp_ops": 0, "forwards": 0, "loads": 0,
            "stores": 0, "local_hops": 0, "noc_hops": 0, "pe_busy": 0.0,
-           "control_events": 0}
+           "control_events": 0, "noc_wait": 0.0}
     iteration_latencies: list[float] = []
     prev: list = [0] * n
     clock = 0.0
@@ -633,6 +801,8 @@ def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
                 rec_vec[0] = rec_vec[0][:nb]
                 if rec_vec[1] is not None:
                     rec_vec[1] = rec_vec[1][:nb]
+                if rec_vec[2] is not None:
+                    rec_vec[2] = rec_vec[2][:nb]
 
         # -- alias check: prove the LSQ inert for this block -----------------
         if bp.has_store:
@@ -640,25 +810,27 @@ def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
             store_streams = []
             for i in mem_ids:
                 mem_plan = nodes[i].plan_node.memory
-                addr = mem_vecs[i][0]
+                addr, _raw, on = mem_vecs[i]
                 if mem_plan.is_load:
-                    load_streams.append((addr, mem_plan.size, i))
+                    load_streams.append((addr, mem_plan.size, i, on))
                 else:
-                    store_streams.append((addr, mem_plan.size, i))
-            if load_streams and _alias_hazard(load_streams, store_streams):
+                    store_streams.append((addr, mem_plan.size, i, on))
+            if load_streams and block_alias_hazard(load_streams,
+                                                   store_streams):
                 bail = (clock, list(prev) if iterations else None,
                         f"memory aliasing at iteration {iterations}")
                 break
 
         # -- phase T: static timing weights per source -----------------------
-        W, mem_ready, wend = _phase_timing(bp, nb, first, offs)
+        W, mem_ready, mem_off, wend, noc_waits = _phase_timing(
+            bp, nb, first, offs)
 
         # -- phase B: sequential memory walk (grants, AMAT, stores) ----------
         if mem_ids:
             starts, ends, done_mat = _phase_memory(
-                bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
-                ports, access, ideal_latency, speculative, store_issue,
-                memory, options)
+                bp, nb, clock, iterations, mem_vecs, mem_ready, mem_off,
+                wend, ports, access, ideal_latency, speculative,
+                store_issue, memory, options)
             lat_vec = ends - starts
         else:
             lat_vec = wend[0]
@@ -672,6 +844,16 @@ def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
         T[0] = starts
         for j in range(len(mem_ids)):
             T[j + 1] = done_mat[j]
+        # Ring-channel waits: grant minus departure per contended slot, in
+        # concrete time (both are maxima over the timing sources).
+        for slot, dep, grant, skip0 in noc_waits:
+            wvec = (grant + T).max(axis=0) - (dep + T).max(axis=0)
+            if skip0:
+                wvec[0] = 0.0  # the slot does not fire on iteration 0
+            wsum = float(wvec.sum())
+            if wsum:
+                slot_wait[slot] += wsum
+                acc["noc_wait"] += wsum
         for i in range(n):
             if nodes[i].kind == N_MEMORY:
                 total = (done_mat[mem_source[i] - 1] - starts).sum()
@@ -700,7 +882,9 @@ def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
         count = slot_count[edge.slot]
         if count:
             key = edge.key
-            edge_total[key] = edge_total.get(key, 0.0) + count * edge.cycles
+            edge_total[key] = (edge_total.get(key, 0.0)
+                               + count * edge.cycles
+                               + slot_wait[edge.slot])
             edge_count[key] = edge_count.get(key, 0) + count
     latency.bulk_record(node_total, iterations, edge_total, edge_count)
     activity.int_ops += acc["int_ops"]
@@ -710,6 +894,7 @@ def drive_batched(bp: BatchProgram, hierarchy, state, reg_env, ports,
     activity.stores += acc["stores"]
     activity.local_hops += acc["local_hops"]
     activity.noc_hops += acc["noc_hops"]
+    activity.noc_wait_cycles += acc["noc_wait"]
     activity.pe_busy_cycles += acc["pe_busy"]
     activity.control_events += acc["control_events"]
     return iterations, iteration_latencies, bail
@@ -745,9 +930,17 @@ def _phase_values(bp, nb, first, prev, const1, const2, const_fb, memory,
                      and reg.file is RegFile.FP else int64)
         return np.full(nb, const_val, dtype)
 
+    done_clusters: set[int] = set()
     for i in bp.order:
         rec = nodes[i]
         pnode = rec.plan_node
+        ci = rec.cluster
+        if ci >= 0:
+            if ci not in done_clusters:
+                done_clusters.add(ci)
+                _run_cluster(bp.clusters[ci], nodes, nb, first, prev,
+                             const1, const2, const_fb, vals, taken, offs)
+            continue
         if rec.scan:
             vals[i] = _run_scan(rec, nb, first, prev, const1, const2,
                                 operand)
@@ -756,9 +949,23 @@ def _phase_values(bp, nb, first, prev, const1, const2, const_fb, memory,
             mem_plan = pnode.memory
             base = operand(pnode.src1, const1[i])
             addr = _vtu(base + mem_plan.imm)
+            off = on = None
+            if rec.guard >= 0:
+                off = taken[rec.guard]
+                offs[i] = off
+                on = ~off
             if mem_plan.is_load:
                 addr_list = addr.tolist()
-                if gather is not None:
+                if on is not None:
+                    mask = on.tolist()
+                    if gather is not None:
+                        raw = gather(addr_list, mem_plan.size, mask)
+                    else:
+                        load = memory.load
+                        size = mem_plan.size
+                        raw = [load(a, size) if live else 0
+                               for a, live in zip(addr_list, mask)]
+                elif gather is not None:
                     raw = gather(addr_list, mem_plan.size)
                 else:
                     load = memory.load
@@ -771,8 +978,11 @@ def _phase_values(bp, nb, first, prev, const1, const2, const_fb, memory,
                     if rec.mem_sign:
                         sign = rec.mem_sign
                         value = (value & (sign - 1)) - (value & sign)
+                if off is not None:
+                    fb = operand(pnode.fallback, const_fb[i], rec.np_dtype)
+                    value = np.where(off, fb, value)
                 vals[i] = value
-                mem_vecs[i] = [addr, None]
+                mem_vecs[i] = [addr, None, on]
             else:
                 data = operand(pnode.src2, const2[i])
                 if rec.opcode is Opcode.FSW:
@@ -781,7 +991,7 @@ def _phase_values(bp, nb, first, prev, const1, const2, const_fb, memory,
                 else:
                     raw_vec = data & ((1 << (mem_plan.size * 8)) - 1)
                 vals[i] = np.zeros(nb, int64)
-                mem_vecs[i] = [addr, raw_vec]
+                mem_vecs[i] = [addr, raw_vec, on]
             continue
 
         off = None
@@ -844,6 +1054,98 @@ def _run_scan(rec, nb, first, prev, const1, const2, operand):
     return ufunc.accumulate(acc)[1:]
 
 
+def _run_cluster(cluster, nodes, nb, first, prev, const1, const2, const_fb,
+                 vals, taken, offs):
+    """Evaluate a coupled-recurrence cluster lane by lane.
+
+    Members run in ascending node-id order per lane using the plan's
+    scalar evaluator closures, which is bit-identical to the scalar drive
+    loop: int64/float32 lanes round-trip through Python scalars exactly,
+    and the closures apply the same int()/float() conversions.  External
+    producers (node or loop-carried) are already vectorized; internal
+    loop-carried reads hit the previous lane's column.
+    """
+    members = cluster.members
+    member_set = cluster.member_set
+    cols: dict[int, list] = {i: [] for i in members}
+    tk: dict[int, list] = {}
+    offl: dict[int, list] = {}
+    ext: dict[int, list] = {}
+
+    def ext_list(src):
+        lst = ext.get(src)
+        if lst is None:
+            lst = ext[src] = vals[src].tolist()
+        return lst
+
+    # Bind each spec to (access, column, seed): access 0 reads ``seed``
+    # always, 1 reads ``column[k]``, 2 reads ``seed`` at lane 0 and
+    # ``column[k - 1]`` after.
+    def bind(spec, i, consts):
+        code, src = spec
+        if code == _C_CONST:
+            return (0, None, consts[i])
+        if code == _C_NODE_IN:
+            return (1, cols[src], None)
+        if code == _C_NODE_EX:
+            return (1, ext_list(src), None)
+        seed = consts[i] if first else prev[src]
+        if code == _C_LOOP_IN:
+            return (2, cols[src], seed)
+        return (2, ext_list(src), seed)
+
+    bound = []
+    for i, is_ctrl, guard, a_spec, b_spec, fb_spec, evaluate in \
+            cluster.steps:
+        if is_ctrl:
+            tk[i] = []
+        glist = None
+        if guard >= 0:
+            offl[i] = []
+            glist = (tk[guard] if guard in member_set
+                     else taken[guard].tolist())
+        bound.append((cols[i], is_ctrl, tk.get(i), glist,
+                      bind(a_spec, i, const1), bind(b_spec, i, const2),
+                      bind(fb_spec, i, const_fb) if fb_spec is not None
+                      else None,
+                      offl.get(i), evaluate))
+
+    def read(operand, k):
+        access, column, seed = operand
+        if access == 0:
+            return seed
+        if access == 1:
+            return column[k]
+        return seed if k == 0 else column[k - 1]
+
+    for k in range(nb):
+        for col, is_ctrl, tl, glist, a_b, b_b, fb_b, ol, evaluate in bound:
+            if glist is not None and glist[k]:
+                value = read(fb_b, k)
+                ol.append(True)
+                if is_ctrl:
+                    tl.append(False)  # a disabled branch is untaken
+            else:
+                if ol is not None:
+                    ol.append(False)
+                a = read(a_b, k)
+                b = read(b_b, k)
+                if is_ctrl:
+                    t = evaluate(a, b)
+                    tl.append(t)
+                    value = int(t)
+                else:
+                    value = evaluate(a, b)
+            col.append(value)
+
+    for i in members:
+        vals[i] = np.array(cols[i], nodes[i].np_dtype)
+    for i, tl in tk.items():
+        taken[i] = np.array(tl, bool)
+    for i, ol in offl.items():
+        offs[i] = np.array(ol, bool)
+
+
 def _phase_timing(bp, nb, first, offs):
     """Per-node completion weights over the timing sources.
 
@@ -851,6 +1153,17 @@ def _phase_timing(bp, nb, first, offs):
     iteration k is ``max_s(T[s, k] + W[i][s, k])`` where T holds the
     iteration start (source 0) and each memory node's completion.  -inf
     marks an unreachable source.
+
+    Contended ring channels (``bp.noc_rows``) serialize their slots through
+    a per-lane grant chain kept in the same weight space: the chain state
+    ``M`` holds the previous grant, the next grant is ``max(depart,
+    M + 1)`` elementwise (the single-port issue interval), and the max
+    distributes over the source decomposition, so concrete grants are
+    exactly ``max_s(T[s] + G[s])``.  Channel state never carries between
+    iterations (the next start is at least the last grant + 1), so lanes
+    are independent.  Nodes are walked in node-id order — the scalar
+    loop's request order — which pass 2's forward-edge check makes a valid
+    topological order.
     """
     nodes = bp.nodes
     n = len(nodes)
@@ -858,26 +1171,58 @@ def _phase_timing(bp, nb, first, offs):
     mem_source = {i: j + 1 for j, i in enumerate(bp.mem_ids)}
     W: list = [None] * n
     mem_ready: dict[int, object] = {}
+    mem_off: dict[int, object] = {}
+    chains = {row: np.full((S, nb), _NEG) for row in bp.noc_rows}
+    noc_waits: list = []
+
+    def chained(edge, dep, skip0):
+        """Arrival weights through a contended ring channel."""
+        chain = chains[edge.src_row]
+        grant = np.maximum(dep, chain + 1.0)
+        arrival = grant + edge.cycles
+        if skip0:
+            # Iteration 0 takes the constant seed: no packet, no grant.
+            new_chain = grant.copy()
+            new_chain[:, 0] = chain[:, 0]
+            chains[edge.src_row] = new_chain
+            arrival[:, 0] = _NEG
+            arrival[0, 0] = 0.0
+        else:
+            chains[edge.src_row] = grant
+        noc_waits.append((edge.slot, dep, grant, skip0))
+        return arrival
 
     def opw(op):
+        edge = op.edge
+        contended = (edge is not None and not edge.is_local
+                     and edge.src_row in chains)
         if op.kind == K_NODE:
-            return W[op.src_id] + op.edge.cycles
+            if contended:
+                return chained(edge, W[op.src_id], False)
+            return W[op.src_id] + edge.cycles
         row = np.full((S, nb), _NEG)
         if op.kind == K_LOOP:
-            row[0] = op.edge.cycles
+            if contended:
+                row[0] = 0.0  # departure is the iteration start
+                return chained(edge, row, first)
+            row[0] = edge.cycles
             if first:
                 row[0, 0] = 0.0
         else:
             row[0] = 0.0
         return row
 
-    for i in bp.order:
+    for i in range(n):
         rec = nodes[i]
         pnode = rec.plan_node
         ready = np.maximum(opw(pnode.src1), opw(pnode.src2))
         np.maximum(ready[0], 0.0, out=ready[0])  # the start floor
         if rec.kind == N_MEMORY:
             mem_ready[i] = ready
+            if offs[i] is not None:
+                # Completion of a predicated-off lane: operands ready vs
+                # the fallback transfer (no grant, no AMAT).
+                mem_off[i] = np.maximum(ready, opw(pnode.fallback))
             w = np.full((S, nb), _NEG)
             w[mem_source[i]] = 0.0
             W[i] = w
@@ -893,14 +1238,16 @@ def _phase_timing(bp, nb, first, offs):
     wend = W[0]
     for i in range(1, n):
         wend = np.maximum(wend, W[i])
-    return W, mem_ready, wend
+    return W, mem_ready, mem_off, wend, noc_waits
 
 
-def _phase_memory(bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
-                  ports, access, ideal_latency, speculative, store_issue,
-                  memory, options):
+def _phase_memory(bp, nb, clock, iterations, mem_vecs, mem_ready, mem_off,
+                  wend, ports, access, ideal_latency, speculative,
+                  store_issue, memory, options):
     """Sequential walk of the block's memory events (the only per-iteration
-    Python loop left): port grants, cache accesses, store commits."""
+    Python loop left): port grants, cache accesses, store commits.
+    Predicated-off lanes complete at max(operands ready, fallback arrival)
+    without requesting a port, touching the cache, or committing."""
     nodes = bp.nodes
     mem_ids = bp.mem_ids
     request = ports.request
@@ -918,12 +1265,15 @@ def _phase_memory(bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
     records = []
     for i in mem_ids:
         mem_plan = nodes[i].plan_node.memory
-        addr, raw = mem_vecs[i]
+        addr, raw, on = mem_vecs[i]
         records.append((
             mem_plan.is_load, mem_plan.size, mem_plan.pc,
             mem_plan.vector_group, mem_plan.prefetched,
             addr.tolist(), raw.tolist() if raw is not None else None,
-            compress(mem_ready[i]), [0.0] * nb,
+            on.tolist() if on is not None else None,
+            compress(mem_ready[i]),
+            compress(mem_off[i]) if i in mem_off else None,
+            [0.0] * nb,
         ))
     wend_rows = compress(wend)
 
@@ -935,8 +1285,19 @@ def _phase_memory(bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
         vector_grants: dict[int, float] = {}
         store_horizon = None
         dones: list[float] = []
-        for (is_load, size, pc, group, prefetched, addr, raw, comps,
-             done_row) in records:
+        for (is_load, size, pc, group, prefetched, addr, raw, on, comps,
+             off_comps, done_row) in records:
+            if on is not None and not on[k]:
+                done = _NEG
+                for s, row in off_comps:
+                    w = row[k]
+                    if w != _NEG:
+                        t = start + w if s == 0 else dones[s - 1] + w
+                        if t > done:
+                            done = t
+                dones.append(done)
+                done_row[k] = done
+                continue
             ready = _NEG
             for s, row in comps:
                 w = row[k]
@@ -979,7 +1340,7 @@ def _phase_memory(bp, nb, clock, iterations, mem_vecs, mem_ready, wend,
                     end = t
         ends_list[k] = end
         start = end
-    done_mat = np.array([record[8] for record in records])
+    done_mat = np.array([record[10] for record in records])
     return np.array(starts_list), np.array(ends_list), done_mat
 
 
@@ -1014,7 +1375,7 @@ def _fold_events(bp, nb, first, offs, slot_count, acc):
             acc["control_events"] += off
         if rec.kind == N_MEMORY:
             key = "loads" if rec.plan_node.memory.is_load else "stores"
-            acc[key] += nb
+            acc[key] += live
         elif rec.kind == N_CONTROL:
             acc["control_events"] += live
         else:

@@ -281,13 +281,11 @@ class DataflowEngine:
             slot_count[slot] += 1
             return cycles
 
-        # A guard at or after its node would read this iteration's
-        # still-default branch state — treat it as no guard, which lets the
-        # branch-state buffer be reused across iterations (every effective
-        # guard's entry is rewritten before it is read).
-        guard_ids = [node.guard_branch
-                     if -1 < node.guard_branch < node.node_id else -1
-                     for node in nodes]
+        # Inert guards (at or after their node) are already resolved away
+        # in the plan, which lets the branch-state buffer be reused across
+        # iterations (every effective guard's entry is rewritten before it
+        # is read).
+        guard_ids = [node.effective_guard for node in nodes]
 
         # Per-iteration buffers, allocated once and reused: values swap
         # with prev_values at the top of each iteration; completion and

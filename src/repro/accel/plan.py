@@ -137,6 +137,11 @@ class NodePlan:
     src1: OperandPlan
     src2: OperandPlan
     guard_branch: int            # guarding branch node id, -1 if unguarded
+    #: ``guard_branch`` when the guard can actually fire (a branch strictly
+    #: before this node), else -1 — a guard at or after its node reads the
+    #: iteration's still-default branch state and never predicates it off.
+    #: Both drive loops and the batched capability analysis share this rule.
+    effective_guard: int
     fallback: OperandPlan | None
     #: Constant operation latency (0 for memory nodes, whose timing is
     #: port grant + AMAT).
@@ -308,6 +313,8 @@ class ExecutionPlan:
             src1=src1,
             src2=src2,
             guard_branch=guard_branch,
+            effective_guard=(guard_branch
+                             if -1 < guard_branch < node.node_id else -1),
             fallback=fallback,
             latency=latency,
             evaluate=evaluate,

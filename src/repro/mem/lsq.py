@@ -18,7 +18,46 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-__all__ = ["AccessKind", "LoadOutcome", "LsqEntry", "LsqStats", "LoadStoreQueue"]
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - the CPU model works without numpy
+    np = None
+
+__all__ = ["AccessKind", "LoadOutcome", "LsqEntry", "LsqStats",
+           "LoadStoreQueue", "block_alias_hazard"]
+
+
+def block_alias_hazard(load_streams, store_streams) -> bool:
+    """Block-level disambiguation for the batched engine: True when any
+    store byte-overlaps a load of the same iteration that follows it in
+    program order, or of any later iteration in the block.
+
+    This is the vectorized form of the ordering the queue enforces one
+    access at a time — when it returns False the LSQ is provably inert for
+    the whole block (no forward, no violation, no stall), which is what
+    lets :mod:`repro.accel.batch` gather a block of loads before any store
+    commits.  Streams are ``(addresses, size, node_id, on_mask)`` tuples;
+    ``on_mask`` marks the lanes a guarded access actually issues on (None
+    = always issues), since a predicated-off access never enters the queue.
+    """
+    for s_addr, s_size, s_id, s_on in store_streams:
+        s_lo = int(s_addr.min())
+        s_hi = int(s_addr.max()) + s_size
+        for l_addr, l_size, l_id, l_on in load_streams:
+            if s_hi <= int(l_addr.min()) or int(l_addr.max()) + l_size <= s_lo:
+                continue
+            overlap = ((s_addr[None, :] < l_addr[:, None] + l_size)
+                       & (l_addr[:, None] < s_addr[None, :] + s_size))
+            if s_on is not None:
+                overlap &= s_on[None, :]
+            if l_on is not None:
+                overlap &= l_on[:, None]
+            # Rows index the load's iteration, columns the store's.
+            hazard = (np.tril(overlap) if s_id < l_id
+                      else np.tril(overlap, -1))
+            if hazard.any():
+                return True
+    return False
 
 
 class AccessKind(enum.Enum):

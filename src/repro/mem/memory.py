@@ -44,17 +44,35 @@ class Memory:
         ):
             self._bytes[address + i] = byte
 
-    def gather(self, addresses: Iterable[int], size: int) -> list[int]:
+    def gather(self, addresses: Iterable[int], size: int,
+               mask: Iterable[bool] | None = None) -> list[int]:
         """Bulk :meth:`load`: one raw unsigned value per address.
 
         Semantically identical to ``[self.load(a, size) for a in addresses]``
         (including the negative-address check) but resolves ``_bytes.get``
         once — the batched engine reads a whole block of load addresses
         through this in one call.
+
+        With ``mask`` (the batched engine's guard-active lanes), only
+        addresses whose mask entry is true are read; masked-off lanes
+        yield 0 without touching storage or validating the address, like
+        a predicated-off load that never issues.
         """
         get = self._bytes.get
         out = []
-        for address in addresses:
+        if mask is None:
+            for address in addresses:
+                if address < 0:
+                    raise ValueError(f"negative address {address:#x}")
+                value = 0
+                for i in range(size - 1, -1, -1):
+                    value = (value << 8) | get(address + i, 0)
+                out.append(value)
+            return out
+        for address, live in zip(addresses, mask):
+            if not live:
+                out.append(0)
+                continue
             if address < 0:
                 raise ValueError(f"negative address {address:#x}")
             value = 0

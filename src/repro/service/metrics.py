@@ -45,6 +45,11 @@ class HistogramSnapshot:
     counts: tuple[int, ...] = ()
     count: int = 0
     sum_seconds: float = 0.0
+    #: Recordings whose duration was negative (a clock went backwards, or
+    #: a caller's bookkeeping bug) and were clamped to zero.  Surfaced so
+    #: a nonzero rate is visible instead of silently polluting the first
+    #: bucket.
+    clamped: int = 0
 
     @property
     def mean(self) -> float:
@@ -83,7 +88,8 @@ class HistogramSnapshot:
         return HistogramSnapshot(counts=tuple(counts),
                                  count=self.count - other.count,
                                  sum_seconds=self.sum_seconds
-                                 - other.sum_seconds)
+                                 - other.sum_seconds,
+                                 clamped=self.clamped - other.clamped)
 
     def __add__(self, other: "HistogramSnapshot") -> "HistogramSnapshot":
         length = max(len(self.counts), len(other.counts))
@@ -94,24 +100,29 @@ class HistogramSnapshot:
         return HistogramSnapshot(counts=tuple(counts),
                                  count=self.count + other.count,
                                  sum_seconds=self.sum_seconds
-                                 + other.sum_seconds)
+                                 + other.sum_seconds,
+                                 clamped=self.clamped + other.clamped)
 
 
 class LatencyHistogram:
     """Mutable log-bucketed recorder; snapshots are monotonic."""
 
-    __slots__ = ("_counts", "_count", "_sum")
+    __slots__ = ("_counts", "_count", "_sum", "_clamped")
 
     def __init__(self) -> None:
         self._counts = [0] * (len(BUCKET_BOUNDS) + 1)
         self._count = 0
         self._sum = 0.0
+        self._clamped = 0
 
     def record(self, seconds: float) -> None:
-        index = bisect.bisect_left(BUCKET_BOUNDS, max(0.0, seconds))
+        if seconds < 0.0:
+            self._clamped += 1
+            seconds = 0.0
+        index = bisect.bisect_left(BUCKET_BOUNDS, seconds)
         self._counts[index] += 1
         self._count += 1
-        self._sum += max(0.0, seconds)
+        self._sum += seconds
 
     @property
     def count(self) -> int:
@@ -119,7 +130,8 @@ class LatencyHistogram:
 
     def snapshot(self) -> HistogramSnapshot:
         return HistogramSnapshot(counts=tuple(self._counts),
-                                 count=self._count, sum_seconds=self._sum)
+                                 count=self._count, sum_seconds=self._sum,
+                                 clamped=self._clamped)
 
 
 @dataclass(frozen=True)

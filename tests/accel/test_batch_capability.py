@@ -8,7 +8,10 @@ frozen here:
 * the verdict for every Rodinia kernel at M-128, so a change that silently
   stops batching (or starts batching something unsound) fails loudly; and
 * unit tests pinning each machine-readable fallback reason to a minimal
-  program that triggers it.
+  program that triggers it, plus the acceptance shape (cluster membership,
+  contended-ring detection, schedule order) for the families the analysis
+  now admits: guarded memory, loop-carried recurrence clusters, and
+  closed-form NoC ring queueing.
 """
 
 from __future__ import annotations
@@ -22,12 +25,13 @@ from repro.accel import (
     AcceleratorProgram,
     ConfiguredNode,
     DataflowEngine,
+    Guard,
     M_128,
     Operand,
 )
 from repro.accel.batch import compile_batch
 from repro.core import MesaController, MesaOptions
-from repro.isa import Instruction, MachineState, Opcode, x
+from repro.isa import Instruction, Opcode, x
 from repro.workloads import build_kernel, kernel_names
 
 from .test_batch_equivalence import loop_program
@@ -36,24 +40,24 @@ from .test_batch_equivalence import loop_program
 #: None when the controller does not accelerate the kernel at all.
 EXPECTED = {
     "backprop": "batched",
-    "bfs": "guarded memory access",
+    "bfs": "load-dependent store addressing",
     "btree": None,
     "cfd": "batched",
     "gaussian": "batched",
     "heartwall": "batched",
     "hotspot": "batched",
     "hotspot3d": "batched",
-    "kmeans": "NoC ring-channel contention",
-    "lavamd": "NoC ring-channel contention",
+    "kmeans": "batched",
+    "lavamd": "batched",
     "leukocyte": "batched",
     "lud": "batched",
-    "myocyte": "coupled loop-carried recurrence",
+    "myocyte": "batched",
     "nn": "batched",
-    "nw": "coupled loop-carried recurrence",
+    "nw": "batched",
     "particlefilter": "batched",
     "pathfinder": "batched",
     "srad": None,
-    "streamcluster": "guarded memory access",
+    "streamcluster": "batched",
 }
 
 
@@ -79,14 +83,17 @@ def test_kernel_verdict_frozen(name):
         assert result.drive_reason == expected
 
 
-# -- unit reasons over minimal programs --------------------------------------
+# -- unit reasons and acceptance shapes over minimal programs -----------------
 
 CFG = AcceleratorConfig(rows=16, cols=8)
 
 
+def batch_program(program):
+    return compile_batch(DataflowEngine(program).plan)
+
+
 def reason_for(program) -> str:
-    engine = DataflowEngine(program)
-    capability = compile_batch(engine.plan).capability
+    capability = batch_program(program).capability
     assert not capability
     return capability.reason
 
@@ -114,43 +121,93 @@ def test_xlen_64_rejected():
     assert reason_for(program) == "xlen 64"
 
 
-def test_guarded_memory_access():
+def test_wide_memory_access_rejected():
+    # A doubleword load exceeds the 4-byte lanes the vectorized gather
+    # models; only word-and-narrower accesses batch.
+    program = loop_program()
+    instr = dataclasses.replace(program.nodes[2].instruction,
+                                opcode=Opcode.LD)
+    program = edit_node(program, 2, instruction=instr)
+    assert reason_for(program) == "wide memory access"
+
+
+def test_guarded_store_accepted():
+    # A predicated store batches: off lanes are masked out of the alias
+    # check, the port walk, and the hierarchy, exactly like a
+    # predicated-off access that never issues.
     program = loop_program()
     guard = program.nodes[7].guard
-    program = edit_node(program, 8, guard=guard)
-    assert reason_for(program) == "guarded memory access"
+    capability = batch_program(edit_node(program, 8, guard=guard)).capability
+    assert capability
+    assert capability.reason == ""
 
 
-def test_self_referential_guard_fallback_rejected():
-    # x7 = taken ? new : old(x7) is a data-dependent recurrence — the
-    # fallback may not name its own node.
+def test_self_referential_guard_fallback_clusters():
+    # x7 = taken ? new : old(x7) is a data-dependent recurrence; it now
+    # batches through a sequential microloop cluster on node 7.
     program = loop_program()
     guard = program.nodes[7].guard
     guard = dataclasses.replace(
         guard, fallback=Operand.loop_carried(7, x(7)))
-    program = edit_node(program, 7, guard=guard)
-    assert reason_for(program) == "unsupported loop-carried reduction"
+    bp = batch_program(edit_node(program, 7, guard=guard))
+    assert bp.capability
+    assert [list(c.members) for c in bp.clusters] == [[7]]
 
 
-def test_non_scan_self_loop_rejected():
-    # node 7 becomes x7 = x7 XOR load — XOR has no recognized scan form.
+def test_non_scan_self_loop_clusters():
+    # node 7 becomes x7 = x7 XOR load — XOR has no closed scan form, so
+    # the node demotes to a single-member microloop cluster.
     program = loop_program()
     node = program.nodes[7]
     instr = dataclasses.replace(node.instruction, opcode=Opcode.XOR)
-    program = edit_node(program, 7, instruction=instr,
-                        src1=Operand.loop_carried(7, x(7)),
-                        src2=Operand.node(2), guard=None)
-    assert reason_for(program) == "unsupported loop-carried reduction"
+    bp = batch_program(edit_node(program, 7, instruction=instr,
+                                 src1=Operand.loop_carried(7, x(7)),
+                                 src2=Operand.node(2), guard=None))
+    assert bp.capability
+    assert [list(c.members) for c in bp.clusters] == [[7]]
 
 
-def test_coupled_recurrence_rejected():
+def coupled_program():
     # Cross-coupled: node 0 feeds on node 7's previous value while node 7
-    # (a recognized reduction otherwise) transitively feeds node 0 — the
-    # combined dependence graph has a cycle.
+    # feeds on node 0 — a two-node cycle in the dependence graph.
     program = loop_program()
     program = edit_node(program, 0, src1=Operand.loop_carried(7, x(7)))
-    program = edit_node(program, 7, src2=Operand.node(0), guard=None)
-    assert reason_for(program) == "coupled loop-carried recurrence"
+    return edit_node(program, 7, src2=Operand.node(0), guard=None)
+
+
+def test_coupled_recurrence_clusters():
+    bp = batch_program(coupled_program())
+    assert bp.capability
+    assert [list(c.members) for c in bp.clusters] == [[0, 7]]
+
+
+def test_cluster_schedule_order_pinned():
+    # The condensation topo sort (heapq over component keys) must pop in
+    # the same order the old min()-scan did: smallest ready key first.
+    # For the coupled program the {0, 7} cluster becomes ready only after
+    # node 2 (node 7 reads the load), pinning this exact order.
+    bp = batch_program(coupled_program())
+    assert bp.order == [1, 2, 0, 7, 3, 4, 5, 6, 8, 9]
+
+
+def test_memory_recurrence_rejected():
+    # A load whose address chains through its own previous value would
+    # put a memory access inside a microloop cluster, where the port and
+    # cache walk cannot replay — the analysis must refuse.
+    program = loop_program()
+    program = edit_node(program, 2, src1=Operand.loop_carried(2, x(6)))
+    assert reason_for(program) == "loop-carried recurrence through memory"
+
+
+def test_forward_fallback_edge_rejected():
+    # A guard fallback naming a *later* node's same-iteration output
+    # breaks the id-ordered block sweep (plan compilation already rejects
+    # forward src operands; the fallback is the one route left).
+    program = loop_program()
+    guard = dataclasses.replace(program.nodes[7].guard,
+                                fallback=Operand.node(8))
+    program = edit_node(program, 7, guard=guard)
+    assert reason_for(program) == "forward same-iteration edge"
 
 
 def test_load_dependent_store_addressing():
@@ -175,14 +232,95 @@ def test_batchable_program_accepts():
     assert capability.reason == ""
 
 
-def test_noc_contention_reason_matches_kmeans():
+def noc_program(guarded_fallback: bool = False) -> AcceleratorProgram:
+    """One producer fanned out to two far-away consumers: both transfers
+    ride the row-0 ring channel, so the channel is contended and the
+    closed-form queueing model must engage.  With ``guarded_fallback``
+    the second consumer is predicated and its fallback transfer shares
+    the same contended channel — a data-dependent request order the
+    closed-form chain cannot replay.
+    """
+    base = 0x3000
+    nodes = [
+        ConfiguredNode(0, Instruction(base, Opcode.ADDI, rd=x(5), rs1=x(5),
+                                      imm=-1),
+                       (0, 0), src1=Operand.loop_carried(0, x(5))),
+        ConfiguredNode(1, Instruction(base + 4, Opcode.ADDI, rd=x(10),
+                                      rs1=x(10), imm=4),
+                       (0, 1), src1=Operand.loop_carried(1, x(10))),
+        ConfiguredNode(2, Instruction(base + 8, Opcode.BLT, rs1=x(5),
+                                      rs2=x(12), imm=8),
+                       (1, 1), src1=Operand.node(0),
+                       src2=Operand.from_register(x(12))),
+        ConfiguredNode(3, Instruction(base + 12, Opcode.ADD, rd=x(6),
+                                      rs1=x(10), rs2=x(13)),
+                       (13, 7), src1=Operand.node(1),
+                       src2=Operand.from_register(x(13))),
+        ConfiguredNode(4, Instruction(base + 16, Opcode.ADD, rd=x(7),
+                                      rs1=x(10), rs2=x(12)),
+                       (12, 7), src1=Operand.node(1),
+                       src2=Operand.from_register(x(12)),
+                       guard=(Guard(2, Operand.loop_carried(1, x(10)))
+                              if guarded_fallback else None)),
+        ConfiguredNode(5, Instruction(base + 20, Opcode.BNE, rs1=x(5),
+                                      rs2=x(0), imm=-20),
+                       (1, 0), src1=Operand.node(0)),
+    ]
+    return AcceleratorProgram(
+        config=CFG, nodes=nodes, loop_branch_id=5,
+        live_in={x(5), x(10), x(12), x(13)},
+        live_out={x(5): 0, x(6): 3, x(7): 4},
+    )
+
+
+def test_noc_contention_accepted_with_closed_form():
+    bp = batch_program(noc_program())
+    assert bp.capability
+    assert sorted(bp.noc_rows) == [0]
+
+
+def test_noc_closed_form_bit_identical():
+    # The grant chain must replay the scalar loop's ring arbitration
+    # exactly — departures, per-edge latencies, and the NoC wait counter.
+    from repro.accel import ExecutionOptions
+    from repro.isa import MachineState
+    from repro.mem import Memory
+
+    from .test_plan_equivalence import run_fingerprint
+
+    def make():
+        state = MachineState(memory=Memory())
+        state.write(x(5), 40)
+        state.write(x(10), 0x100)
+        state.write(x(12), 7)
+        state.write(x(13), 3)
+        return state
+
+    program = noc_program()
+    batched = DataflowEngine(program).run(
+        make(), ExecutionOptions(batch=True))
+    interpreted = DataflowEngine(program, compiled=False).run(
+        make(), ExecutionOptions())
+    assert batched.drive_path == "batched"
+    assert batched.activity.noc_wait_cycles > 0
+    assert run_fingerprint(batched) == run_fingerprint(interpreted)
+
+
+def test_noc_fallback_on_contended_row_rejected():
+    assert (reason_for(noc_program(guarded_fallback=True))
+            == "data-dependent NoC channel order")
+
+
+def test_noc_contention_kmeans_accepted():
+    # kmeans fans one producer across a row — formerly the poster child
+    # for the contention fallback, now batched through the grant chain.
     kernel = build_kernel("kmeans", iterations=64, seed=1)
     controller = MesaController(M_128, options=MesaOptions())
     result = controller.execute(kernel.program, kernel.state_factory,
                                 parallelizable=kernel.parallelizable)
     assert result.accel_program is not None
-    capability = compile_batch(
+    bp = compile_batch(
         DataflowEngine(result.accel_program,
-                       interconnect=controller.interconnect).plan).capability
-    assert not capability
-    assert capability.reason == "NoC ring-channel contention"
+                       interconnect=controller.interconnect).plan)
+    assert bp.capability
+    assert bp.noc_rows

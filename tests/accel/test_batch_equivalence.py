@@ -69,16 +69,25 @@ class TestPipelineEquivalence:
         assert batched == scalar
 
     def test_fallback_reason_is_reported(self):
-        # kmeans fans one producer out across a row: two NoC slots on one
-        # ring channel defeat the zero-wait proof, so the capability
+        # bfs computes a store address from a loaded value: the LSQ would
+        # have to disambiguate inside the block, so the capability
         # analysis must route it to the scalar loop — visibly.
-        _, result = execute_kernel("kmeans", M_128, None, True)
+        _, result = execute_kernel("bfs", M_128, None, True)
         assert result.accelerated
         assert result.drive_path == "compiled"
-        assert result.drive_reason == "NoC ring-channel contention"
+        assert result.drive_reason == "load-dependent store addressing"
 
     def test_batchable_kernel_reports_batched(self):
         _, result = execute_kernel("hotspot", M_128, None, None)
+        assert result.accelerated
+        assert result.drive_path == "batched"
+        assert result.drive_reason == ""
+
+    def test_noc_contended_kernel_reports_batched(self):
+        # kmeans fans one producer out across a row — two NoC slots on
+        # one ring channel, formerly a fallback, now reproduced by the
+        # closed-form grant chain.
+        _, result = execute_kernel("kmeans", M_128, None, None)
         assert result.accelerated
         assert result.drive_path == "batched"
         assert result.drive_reason == ""
@@ -282,3 +291,92 @@ class TestDirectEngineEquivalence:
     def test_options_validation(self):
         with pytest.raises(ValueError):
             ExecutionOptions(batch_block=-1)
+
+
+def edit_node(program, node_id, **changes):
+    nodes = list(program.nodes)
+    nodes[node_id] = dataclasses.replace(nodes[node_id], **changes)
+    return dataclasses.replace(program, nodes=nodes)
+
+
+class TestNewFamilyEquivalence:
+    """The three families the capability analysis newly admits — guarded
+    memory, microloop recurrence clusters, contended NoC rings — plus the
+    guard-ordering rule, each held to bit identity against the interpreter.
+    """
+
+    def assert_batched_identical(self, program, make=make_state, **overrides):
+        batched, scalar, interpreted = three_way(program, make, **overrides)
+        assert batched.drive_path == "batched", batched.drive_reason
+        assert run_fingerprint(batched) == run_fingerprint(interpreted)
+        assert run_fingerprint(scalar) == run_fingerprint(interpreted)
+        return batched
+
+    def test_guarded_store_bit_identical(self):
+        # The store inherits node 7's guard: off lanes must skip the
+        # alias check, the port walk, and the write itself.
+        program = loop_program()
+        program = edit_node(program, 8, guard=program.nodes[7].guard)
+        self.assert_batched_identical(program)
+
+    def test_guarded_load_bit_identical(self):
+        # Node 8 becomes a guarded load off the walking base: on lanes
+        # gather through the masked bulk read, off lanes forward the
+        # loop-carried fallback and charge neither ports nor AMAT.
+        program = loop_program()
+        instr = Instruction(0x2000 + 32, Opcode.LW, rd=x(8), rs1=x(10),
+                            imm=0x400)
+        program = edit_node(program, 8, instruction=instr,
+                            src1=Operand.node(1), src2=Operand.none(),
+                            guard=Guard(6, Operand.loop_carried(2, x(6))))
+        program = dataclasses.replace(
+            program, live_out={**program.live_out, x(8): 8})
+        self.assert_batched_identical(program)
+
+    def test_guard_fallback_recurrence_bit_identical(self):
+        # x7 = taken ? new : old(x7) — a data-dependent recurrence the
+        # microloop cluster replays lane by lane.
+        program = loop_program()
+        guard = dataclasses.replace(
+            program.nodes[7].guard,
+            fallback=Operand.loop_carried(7, x(7)))
+        self.assert_batched_identical(edit_node(program, 7, guard=guard))
+
+    def test_non_scan_cluster_bit_identical(self):
+        # x7 = x7 XOR load has no closed scan form; the cluster path must
+        # still match the interpreter exactly.
+        program = loop_program()
+        instr = dataclasses.replace(program.nodes[7].instruction,
+                                    opcode=Opcode.XOR)
+        program = edit_node(program, 7, instruction=instr,
+                            src1=Operand.loop_carried(7, x(7)),
+                            src2=Operand.node(2), guard=None)
+        self.assert_batched_identical(program)
+
+    def test_coupled_recurrence_bit_identical(self):
+        # Nodes 0 and 7 cross-couple into a two-node cycle; the countdown
+        # is gone, so the iteration cap bounds the run.
+        program = loop_program()
+        program = edit_node(program, 0,
+                            src1=Operand.loop_carried(7, x(7)))
+        program = edit_node(program, 7, src2=Operand.node(0), guard=None)
+        run = self.assert_batched_identical(program, max_iterations=20)
+        assert run.iterations == 20
+
+    def test_guard_after_consumer_is_inert_bit_identical(self):
+        # Guard-ordering rule: a guard whose branch does not precede the
+        # consumer can never fire in the scalar walk, so the batched path
+        # must treat it as absent — not apply it with this iteration's
+        # branch outcome.
+        program = loop_program()
+        program = edit_node(program, 5, guard=Guard(6, Operand.node(3)))
+        self.assert_batched_identical(program)
+
+    def test_cluster_block_boundaries_bit_identical(self):
+        # The cluster's loop-carried seam must carry across blocks.
+        program = loop_program()
+        guard = dataclasses.replace(
+            program.nodes[7].guard,
+            fallback=Operand.loop_carried(7, x(7)))
+        program = edit_node(program, 7, guard=guard)
+        self.assert_batched_identical(program, batch_block=7)

@@ -57,6 +57,19 @@ class TestLatencyHistogram:
         snap = hist.snapshot()
         assert snap.count == 2
         assert snap.sum_seconds == 0.0
+        # Only the genuinely negative recording counts as clamped; a
+        # zero-duration sample is legitimate.
+        assert snap.clamped == 1
+
+    def test_clamped_counter_subtracts_and_merges(self):
+        hist = LatencyHistogram()
+        hist.record(-0.5)
+        earlier = hist.snapshot()
+        hist.record(-0.25)
+        hist.record(0.001)
+        later = hist.snapshot()
+        assert (later - earlier).clamped == 1
+        assert (later + earlier).clamped == 3
 
 
 class TestServiceStats:
@@ -103,6 +116,9 @@ class TestRendering:
         text = format_latency(hist.snapshot())
         assert text.startswith("n=1 ")
         assert "p50=" in text and "p99=" in text
+        assert "clamped" not in text, "absent while the count is zero"
+        hist.record(-1.0)
+        assert format_latency(hist.snapshot()).endswith("clamped=1")
 
     def test_format_service_stats(self):
         hist = LatencyHistogram()
